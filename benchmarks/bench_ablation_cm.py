@@ -1,0 +1,75 @@
+"""Ablation — contention-management policy under the gating protocol.
+
+The paper argues (Section VI) that its gating-aware staircase is the
+right window policy, and that "a basic contention management scheme
+like exponential polite back-off does incur significant performance
+penalty for highly contentious applications".  This ablation runs the
+highly-contended intruder with:
+
+* no gating + immediate retry (the paper's baseline),
+* no gating + exponential back-off (the classic software policy),
+* gating with Eq. (8) windows (the paper's proposal),
+* gating with exponential windows,
+
+and reports time and energy for each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import GatingConfig, SystemConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_workload, workload
+
+SPEC = workload("intruder", scale="small", seed=1)
+PROCS = 8
+
+VARIANTS = [
+    ("baseline (immediate retry)", False, "gating-aware"),
+    ("exponential back-off, no gating", False, "exponential"),
+    ("clock gating + Eq.8 staircase", True, "gating-aware"),
+    ("clock gating + exponential windows", True, "exponential"),
+]
+
+
+def run_variants():
+    results = {}
+    for label, gating_on, cm in VARIANTS:
+        config = dataclasses.replace(
+            SystemConfig(num_procs=PROCS, seed=1),
+            gating=GatingConfig(enabled=gating_on, w0=8, contention_manager=cm),
+        )
+        results[label] = run_workload(SPEC, config)
+    return results
+
+
+def test_cm_policy_ablation(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    baseline = results["baseline (immediate retry)"]
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            (
+                label,
+                result.parallel_time,
+                round(baseline.parallel_time / result.parallel_time, 3),
+                round(baseline.energy.total / result.energy.total, 3),
+                result.aborts,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "N (cycles)", "speed-up vs base", "energy red.",
+             "aborts"],
+            rows,
+            title=f"Ablation — CM policy (intruder, {PROCS} procs)",
+        )
+    )
+
+    eq8 = results["clock gating + Eq.8 staircase"]
+    # the paper's proposal must save energy over the baseline
+    assert baseline.energy.total / eq8.energy.total > 1.1
+    # and cut futile work
+    assert eq8.aborts < baseline.aborts

@@ -1,0 +1,33 @@
+"""Fig. 6 — average power dissipation with and without clock gating.
+
+Eq. (7): AveragePowerReduction = (Eug/Eg) · (N2/N1).  The identity with
+Figs. 4/5 is asserted, and the per-point averages are printed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import format_table
+
+
+def test_fig6_average_power(benchmark, full_grid):
+    rows = benchmark(full_grid.fig6_rows)
+    print()
+    print(
+        format_table(
+            ["app", "procs", "avg P (ungated)", "avg P (gated)",
+             "reduction (Eq. 7)"],
+            rows,
+            title="Fig. 6 — Average power dissipation (fractions of Prun)",
+        )
+    )
+    fig4 = {(a, p): (n1, n2) for a, p, n1, n2, _ in full_grid.fig4_rows()}
+    fig5 = {(a, p): r for a, p, _, _, r in full_grid.fig5_rows()}
+    for app, procs, _pu, _pg, power_reduction in rows:
+        n1, n2 = fig4[(app, procs)]
+        assert power_reduction == pytest.approx(fig5[(app, procs)] * n2 / n1)
+    # average power must sit between the gated floor and run power
+    for _app, _procs, pu, pg, _r in rows:
+        assert 0.2 < pg <= 1.0
+        assert 0.2 < pu <= 1.0

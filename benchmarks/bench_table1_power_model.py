@@ -1,0 +1,27 @@
+"""Table I — the Alpha 21264 @ 65 nm power model.
+
+Regenerates the power factors from the Section VII derivation and
+checks them against the paper's stated values.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table
+from repro.power.model import PowerModel, PowerModelParams
+
+PAPER_TABLE1 = {
+    "Run": 1.0,
+    "Cache Miss": 0.32,
+    "Transaction Commit": 0.44,
+    "Clock Gated": 0.20,
+}
+
+
+def test_table1_power_model(benchmark):
+    model = benchmark(PowerModel.derive, PowerModelParams())
+    rows = model.table1_rows()
+    print()
+    print(format_table(["Operation", "Power Factor"], rows,
+                       title="Table I — Power model of Alpha 21264 (derived)"))
+    for operation, factor in rows:
+        assert abs(factor - PAPER_TABLE1[operation]) < 1e-9, operation

@@ -1,0 +1,24 @@
+"""Table II — simulated system parameters.
+
+Confirms the default :class:`~repro.config.SystemConfig` reproduces the
+paper's simulated machine, and prints the table.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.harness.reporting import format_table
+
+
+def test_table2_system_parameters(benchmark):
+    config = benchmark(SystemConfig, num_procs=16)
+    rows = config.table2_rows()
+    print()
+    print(format_table(["Feature", "Description"], rows,
+                       title="Table II — Parameters used in the simulation"))
+    table = dict(rows)
+    assert "single issue in-order" in table["CPU"]
+    assert table["L1D"].startswith("64KB 64 byte line size, 2-way")
+    assert "10 cycle" in table["Directory"]
+    assert "100 cycle" in table["Main Memory"]
+    assert config.cache.num_sets == 512

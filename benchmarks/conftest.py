@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table and figure of the paper has one benchmark module here; the
+simulated experiment grid (Figs. 4–6 share their runs, exactly as in
+the paper) is computed once per session and cached.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark times the regeneration of its table/figure and *prints*
+the rows/series the paper reports, so the textual output doubles as the
+reproduction record (captured into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import EvaluationSuite
+
+#: scale/seed used across the benchmark suite; "small" keeps the whole
+#: Fig. 3–7 regeneration to a few minutes in CPython.
+BENCH_SCALE = "small"
+BENCH_SEED = 1
+BENCH_PROCS = (4, 8, 16)
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvaluationSuite:
+    return EvaluationSuite(scale=BENCH_SCALE, seed=BENCH_SEED, procs=BENCH_PROCS)
+
+
+@pytest.fixture(scope="session")
+def full_grid(suite: EvaluationSuite) -> EvaluationSuite:
+    """The 3 apps × 3 processor-count grid, run once per session."""
+    suite.run_all()
+    return suite

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP 517 editable installs (which shell out to ``bdist_wheel``) fail.
+Keeping a ``setup.py`` and omitting ``[build-system]`` from
+pyproject.toml lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Post-run analysis tools.
+
+Turns traces and timelines into the artefacts a systems study needs:
+
+* :mod:`~repro.analysis.conflicts` — who aborted whom (a ``networkx``
+  digraph), per-site conflict statistics.
+* :mod:`~repro.analysis.gating` — gating-episode extraction (window
+  lengths, renewal chains, per-directory behaviour).
+* :mod:`~repro.analysis.timelines` — CSV export and state-share
+  summaries of the power-state timelines.
+* :mod:`~repro.analysis.runreport` — one text report combining all of
+  the above for a run.
+"""
+
+from .conflicts import ConflictStats, abort_graph, conflict_stats
+from .gating import GatingEpisode, extract_episodes, gating_summary
+from .timelines import state_shares, timelines_to_csv
+from .runreport import run_report
+
+__all__ = [
+    "ConflictStats",
+    "abort_graph",
+    "conflict_stats",
+    "GatingEpisode",
+    "extract_episodes",
+    "gating_summary",
+    "state_shares",
+    "timelines_to_csv",
+    "run_report",
+]

@@ -1,0 +1,98 @@
+"""Gating-episode analysis.
+
+Reconstructs, from a trace recording the ``gate`` category, every
+gating *episode* — the interval from a Stop-Clock (``gate.off``) to the
+wake-up (``gate.on``) on the victim processor — and correlates it with
+the directory-side record/renew/turn-on events, yielding the numbers
+the paper's narrative is built on: window lengths, renewal-chain
+depths, and the reasons victims were turned back on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..sim.trace import NullTrace
+
+__all__ = ["GatingEpisode", "extract_episodes", "gating_summary"]
+
+
+@dataclass
+class GatingEpisode:
+    """One contiguous gated interval on one processor."""
+
+    proc: int
+    start: int
+    end: int | None = None
+    #: directory that sent the Stop-Clock
+    directory: int | None = None
+    #: renewals observed (at any directory) while this episode ran
+    renewals: int = 0
+
+    @property
+    def duration(self) -> int | None:
+        return None if self.end is None else self.end - self.start
+
+
+def extract_episodes(trace: NullTrace) -> list[GatingEpisode]:
+    """Pair ``gate.off``/``gate.on`` processor events into episodes."""
+    open_by_proc: dict[int, GatingEpisode] = {}
+    episodes: list[GatingEpisode] = []
+    for event in trace.events("gate"):
+        payload = event.payload
+        if event.kind == "gate.off":
+            proc = payload["proc"]
+            episode = GatingEpisode(
+                proc=proc, start=event.time, directory=payload.get("directory")
+            )
+            open_by_proc[proc] = episode
+            episodes.append(episode)
+        elif event.kind == "gate.on":
+            episode = open_by_proc.pop(payload["proc"], None)
+            if episode is not None:
+                episode.end = event.time
+        elif event.kind == "gate.renew":
+            episode = open_by_proc.get(payload["victim"])
+            if episode is not None:
+                episode.renewals += 1
+    return episodes
+
+
+@dataclass
+class GatingSummary:
+    episodes: int
+    completed: int
+    total_gated_cycles: int
+    mean_duration: float
+    max_duration: int
+    episodes_with_renewal: int
+    max_renewals: int
+    turn_on_reasons: dict[str, int] = field(default_factory=dict)
+
+    def renewal_fraction(self) -> float:
+        return self.episodes_with_renewal / self.episodes if self.episodes else 0.0
+
+
+def gating_summary(trace: NullTrace) -> GatingSummary:
+    """Aggregate episode statistics plus directory-side reasons."""
+    episodes = extract_episodes(trace)
+    completed = [e for e in episodes if e.end is not None]
+    durations = [e.duration for e in completed]
+    reasons: dict[str, int] = {}
+    for event in trace.events("gate.turn_on"):
+        reason = event.payload.get("reason", "?")
+        reasons[reason] = reasons.get(reason, 0) + 1
+    return GatingSummary(
+        episodes=len(episodes),
+        completed=len(completed),
+        total_gated_cycles=sum(durations),
+        mean_duration=(sum(durations) / len(durations)) if durations else 0.0,
+        max_duration=max(durations, default=0),
+        episodes_with_renewal=sum(1 for e in episodes if e.renewals),
+        max_renewals=max((e.renewals for e in episodes), default=0),
+        turn_on_reasons=reasons,
+    )
+
+
+__all__.append("GatingSummary")

@@ -1,0 +1,56 @@
+"""Timeline export and state-share summaries."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from ..power.states import ProcState
+from ..sim.timeline import StateTimeline
+
+__all__ = ["state_shares", "timelines_to_csv"]
+
+
+def state_shares(
+    timelines: Sequence[StateTimeline],
+    window: tuple[int, int] | None = None,
+) -> dict[int, dict[ProcState, float]]:
+    """Per-processor fraction of time in each power state.
+
+    ``window`` defaults to each timeline's full span; pass the parallel
+    window to match the paper's measurement interval.
+    """
+    shares: dict[int, dict[ProcState, float]] = {}
+    for proc, timeline in enumerate(timelines):
+        lo = window[0] if window else timeline.start
+        hi = window[1] if window else timeline.end
+        span = max(1, hi - lo)
+        durations = timeline.durations(lo, hi)
+        shares[proc] = {
+            state: durations.get(state, 0) / span for state in ProcState
+        }
+    return shares
+
+
+def timelines_to_csv(
+    timelines: Sequence[StateTimeline],
+    window: tuple[int, int] | None = None,
+) -> str:
+    """Render all timeline segments as CSV (proc, start, end, state).
+
+    The output loads directly into pandas/gnuplot for the Gantt-style
+    activity plots architectural papers use.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["proc", "start", "end", "state"])
+    for proc, timeline in enumerate(timelines):
+        if window is not None:
+            segments = timeline.clipped_segments(*window)
+        else:
+            segments = timeline.segments()
+        for seg in segments:
+            state = seg.state.value if isinstance(seg.state, ProcState) else seg.state
+            writer.writerow([proc, seg.start, seg.end, state])
+    return out.getvalue()

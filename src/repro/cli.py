@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``         one workload on one configuration, with a full report
+``compare``     paired with/without-gating comparison (Figs. 4–6 metrics)
+``evaluate``    the paper's evaluation grid + Section VIII averages
+``sweep``       Fig. 7 W0 sensitivity for one workload
+``cache-power`` the Fig. 3 TCC-cache power analysis
+``list``        available workloads and contention managers
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Sequence
+
+from .analysis.runreport import run_report
+from .cm.registry import available_cms
+from .config import GatingConfig, SystemConfig
+from .harness.compare import compare_gating
+from .harness.experiments import EvaluationSuite
+from .harness.reporting import format_matrix, format_table
+from .harness.runner import run_workload, workload
+from .harness.sweep import DEFAULT_W0_VALUES, w0_sensitivity
+from .power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve, tcc_total_power_factor
+from .power.report import format_energy_report
+from .sim.trace import TraceRecorder
+from .workloads.registry import available_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--procs", type=int, default=4,
+                        help="number of processors (default 4)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--w0", type=int, default=8,
+                        help="gating-window constant W0 (default 8)")
+    parser.add_argument("--cm", default="gating-aware",
+                        help="contention manager (see `list`)")
+
+
+def _config(args: argparse.Namespace, gating_enabled: bool = True) -> SystemConfig:
+    return dataclasses.replace(
+        SystemConfig(num_procs=args.procs, seed=args.seed),
+        gating=GatingConfig(
+            enabled=gating_enabled, w0=args.w0, contention_manager=args.cm
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clock Gate on Abort (IPPS 2009) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload, print a report")
+    p_run.add_argument("workload")
+    _add_common(p_run)
+    p_run.add_argument("--no-gating", action="store_true")
+    p_run.add_argument("--check-serial", action="store_true",
+                       help="verify TID-order serializability (slower)")
+    p_run.add_argument("--csv-timelines", metavar="PATH",
+                       help="export power-state timelines as CSV")
+
+    p_cmp = sub.add_parser("compare", help="paired gated/ungated comparison")
+    p_cmp.add_argument("workload")
+    _add_common(p_cmp)
+
+    p_eval = sub.add_parser("evaluate", help="regenerate Figs. 4-6 + averages")
+    _add_common(p_eval)
+    p_eval.add_argument("--grid", type=int, nargs="+", default=[4, 8, 16],
+                        help="processor counts (default 4 8 16)")
+
+    p_sweep = sub.add_parser("sweep", help="Fig. 7 W0 sensitivity")
+    p_sweep.add_argument("workload")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--w0-values", type=int, nargs="+",
+                         default=list(DEFAULT_W0_VALUES))
+
+    sub.add_parser("cache-power", help="Fig. 3 TCC-cache power analysis")
+    sub.add_parser("list", help="available workloads and policies")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = TraceRecorder(kinds=("tx", "gate"))
+    config = _config(args, gating_enabled=not args.no_gating)
+    result = run_workload(
+        workload(args.workload, scale=args.scale, seed=args.seed),
+        config,
+        trace=trace,
+        check_serial=args.check_serial,
+    )
+    print(run_report(result, trace))
+    if args.check_serial:
+        print("  serializability: OK (TID-order replay verified)")
+    if args.csv_timelines:
+        from .analysis.timelines import timelines_to_csv
+
+        with open(args.csv_timelines, "w") as fh:
+            fh.write(timelines_to_csv(result.machine_result.timelines))
+        print(f"  timelines written to {args.csv_timelines}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_gating(
+        workload(args.workload, scale=args.scale, seed=args.seed),
+        _config(args),
+    )
+    print(format_energy_report(comparison.energy_report()))
+    print()
+    print(comparison.summary())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    suite = EvaluationSuite(
+        scale=args.scale, seed=args.seed, procs=tuple(args.grid), w0=args.w0
+    )
+    suite.run_all()
+    print(format_table(["app", "procs", "N1", "N2", "speed-up"],
+                       suite.fig4_rows(), title="Fig. 4 — execution time"))
+    print()
+    print(format_table(
+        ["app", "procs", "Eug", "Eg", "energy reduction"],
+        [(a, p, round(eu, 1), round(eg, 1), r)
+         for a, p, eu, eg, r in suite.fig5_rows()],
+        title="Fig. 5 — energy",
+    ))
+    print()
+    print(format_table(["app", "procs", "avgP ug", "avgP g", "power red."],
+                       suite.fig6_rows(), title="Fig. 6 — average power"))
+    headline = suite.headline()
+    print()
+    print(f"averages over {int(headline['points'])} points: "
+          f"speed-up {headline['average_speedup_pct']:+.1f}%, "
+          f"energy reduction {headline['average_energy_reduction_pct']:.1f}%, "
+          f"power reduction {headline['average_power_reduction_pct']:.1f}%")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    curves = w0_sensitivity(
+        workload(args.workload, scale=args.scale, seed=args.seed),
+        _config(args),
+        w0_values=tuple(args.w0_values),
+    )
+    rows = [
+        (w0, point["speedup"], point["energy_reduction"],
+         point["power_reduction"])
+        for w0, point in curves.items()
+    ]
+    print(format_table(
+        ["W0", "speed-up", "energy red.", "power red."],
+        rows,
+        title=f"Fig. 7 — {args.workload} @ {args.procs} procs",
+    ))
+    return 0
+
+
+def _cmd_cache_power(_args: argparse.Namespace) -> int:
+    values = {
+        f"{size}KB": dict(tcc_cache_power_curve(size))
+        for size in FIG3_CACHE_SIZES_KB
+    }
+    print(format_matrix(
+        [f"{s}KB" for s in FIG3_CACHE_SIZES_KB],
+        [64, 32, 16, 8, 4, 2, 1],
+        values,
+        corner="cache \\ B/RW-bit",
+        title="Fig. 3 — normalized TCC data-cache power",
+    ))
+    print(f"full TCC data-cache factor: {tcc_total_power_factor():.3f}x")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in available_workloads():
+        print(f"  {name}")
+    print("contention managers:")
+    for name in available_cms():
+        print(f"  {name}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "cache-power": _cmd_cache_power,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Baseline contention managers for the ablation studies.
+
+These mirror the classic software-TM policies surveyed by Scherer &
+Scott (the paper's reference [17]):
+
+* :class:`ImmediateCM` — retry at once; the implicit baseline of the
+  paper's ungated runs.
+* :class:`LinearBackoffCM` — delay grows linearly with the abort streak.
+* :class:`ExponentialBackoffCM` — delay doubles per abort, capped.
+* :class:`PoliteBackoffCM` — exponential with deterministic per-processor
+  jitter (randomized in the literature; derandomized here so runs stay
+  reproducible — the jitter is a fixed per-(proc, streak) hash).
+
+When used as the *gating* policy they translate the same schedule into
+gating-window lengths, enabling apples-to-apples CM ablations with and
+without clock gating.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim.rng import derive_seed
+from .base import ContentionManager
+
+__all__ = [
+    "ImmediateCM",
+    "LinearBackoffCM",
+    "ExponentialBackoffCM",
+    "PoliteBackoffCM",
+]
+
+
+class ImmediateCM(ContentionManager):
+    """Retry immediately; minimal gating window when asked for one."""
+
+    name = "immediate"
+
+    def __init__(self, w0: int = 8):
+        self.w0 = w0
+
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        return self.w0
+
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        return 0
+
+
+class LinearBackoffCM(ContentionManager):
+    """Delay = ``step × streak``, capped."""
+
+    name = "linear"
+
+    def __init__(self, step: int = 16, cap: int = 4096):
+        if step < 1 or cap < step:
+            raise ConfigError("need step >= 1 and cap >= step")
+        self.step = step
+        self.cap = cap
+
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        return min(self.cap, self.step * max(1, abort_count + renew_count))
+
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        return min(self.cap, self.step * consecutive_aborts)
+
+
+class ExponentialBackoffCM(ContentionManager):
+    """Delay = ``base × 2^(streak-1)``, capped."""
+
+    name = "exponential"
+
+    def __init__(self, base: int = 8, cap: int = 65536):
+        if base < 1 or cap < base:
+            raise ConfigError("need base >= 1 and cap >= base")
+        self.base = base
+        self.cap = cap
+
+    def _delay(self, streak: int) -> int:
+        if streak <= 0:
+            return 0
+        return min(self.cap, self.base << min(streak - 1, 30))
+
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        return max(1, self._delay(abort_count + renew_count))
+
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        return self._delay(consecutive_aborts)
+
+
+class PoliteBackoffCM(ExponentialBackoffCM):
+    """Exponential back-off with deterministic jitter.
+
+    The jitter draws a fraction of the nominal delay from a hash of
+    ``(seed, proc_id, streak)`` — reproducible, yet decorrelated across
+    processors the way randomized polite back-off intends.
+    """
+
+    name = "polite"
+
+    def __init__(self, base: int = 8, cap: int = 65536, seed: int = 0):
+        super().__init__(base, cap)
+        self.seed = seed
+
+    def _jittered(self, proc_id: int, streak: int) -> int:
+        nominal = self._delay(streak)
+        if nominal <= 1:
+            return nominal
+        span = nominal // 2
+        offset = derive_seed(self.seed, proc_id, streak) % (span + 1)
+        return nominal - span + offset
+
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        return max(1, self._delay(abort_count + renew_count))
+
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        return self._jittered(proc_id, consecutive_aborts)

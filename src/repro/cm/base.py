@@ -1,0 +1,55 @@
+"""Contention-manager interface.
+
+A contention manager answers two independent questions:
+
+* :meth:`~ContentionManager.gating_window` — for how many cycles should
+  a directory clock-gate a just-aborted processor?  (Used only when
+  gating is enabled; this is :math:`W_t` of the paper.)
+* :meth:`~ContentionManager.retry_delay` — how long should an aborted,
+  *ungated* processor back off before re-executing?  (Used when gating
+  is disabled; the paper's baseline retries immediately.)
+
+Implementations must be deterministic functions of their arguments (and
+of seeds fixed at construction) so that simulations stay reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ContentionManager"]
+
+
+class ContentionManager(abc.ABC):
+    """Strategy object consulted on every abort."""
+
+    #: registry name, set by subclasses
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        """Gating duration :math:`W_t` in cycles.
+
+        ``abort_count`` (:math:`N_a \\ge 1`) is the directory-local abort
+        counter for the victim; ``renew_count`` (:math:`N_r \\ge 0`) the
+        number of renewals at the current abort level.
+        """
+
+    @abc.abstractmethod
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        """Back-off in cycles before re-executing an aborted transaction."""
+
+    def gating_window_ex(
+        self, abort_count: int, renew_count: int, momentum: int
+    ) -> int:
+        """Momentum-aware window; defaults to ignoring momentum.
+
+        ``momentum`` is the victim's invested work (cycles since its
+        attempt began) at abort time — the paper's future-work signal
+        (Section VI).  Policies that use it override this method; see
+        :class:`~repro.cm.momentum.MomentumCM`.
+        """
+        return self.gating_window(abort_count, renew_count)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,73 @@
+"""Momentum-based contention management (the paper's future work).
+
+Section VI closes: "Other contention management schemes based on the
+momentum of the transaction at the time of abort are possible.  We have
+left them as future works."  This module implements that idea.
+
+*Momentum* is the work the victim had invested in its aborted attempt —
+measured as cycles since the attempt began, a quantity the directory
+can learn from the abort acknowledgement.  The intuition: a transaction
+killed late (high momentum) was long, its conflictor is likely long
+too, and an immediate retry will likely die again — so the gating
+window should scale with the wasted work rather than with a fixed
+:math:`W_0` staircase.  A transaction killed immediately (low momentum)
+gets the minimum window.
+
+The policy keeps Eq. 8's renewal escalation (the staircase over the
+renew counter) so repeated renewals still grow the window
+exponentially, and clamps everything to ``cap`` to bound worst-case
+sleep.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .base import ContentionManager
+from .gating_aware import staircase_term
+
+__all__ = ["MomentumCM"]
+
+
+class MomentumCM(ContentionManager):
+    """Window ∝ victim momentum, with Eq. 8-style renewal escalation."""
+
+    name = "momentum"
+
+    def __init__(self, w0: int = 8, momentum_fraction: float = 0.5,
+                 cap: int = 4096):
+        if w0 < 1:
+            raise ConfigError(f"W0 must be >= 1, got {w0}")
+        if not 0.0 < momentum_fraction <= 2.0:
+            raise ConfigError("momentum fraction must be in (0, 2]")
+        if cap < 2 * w0:
+            raise ConfigError("cap must allow at least the minimum window")
+        self.w0 = w0
+        self.momentum_fraction = momentum_fraction
+        self.cap = cap
+
+    def gating_window(self, abort_count: int, renew_count: int) -> int:
+        """Without momentum information, degrade to Eq. 8."""
+        if abort_count < 1:
+            raise ConfigError("gating window queried with no abort recorded")
+        return min(
+            self.cap,
+            self.w0 * (staircase_term(abort_count) + staircase_term(renew_count)),
+        )
+
+    def gating_window_ex(
+        self, abort_count: int, renew_count: int, momentum: int
+    ) -> int:
+        """Momentum-aware window (used when the directory knows it)."""
+        if momentum <= 0:
+            return self.gating_window(abort_count, renew_count)
+        base = max(2 * self.w0, int(momentum * self.momentum_fraction))
+        return min(self.cap, base * staircase_term(renew_count))
+
+    def retry_delay(self, proc_id: int, consecutive_aborts: int) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<MomentumCM w0={self.w0} "
+            f"fraction={self.momentum_fraction} cap={self.cap}>"
+        )

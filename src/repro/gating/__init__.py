@@ -1,0 +1,14 @@
+"""Clock-gate-on-abort protocol (system S5 in DESIGN.md).
+
+* :mod:`~repro.gating.table` — the per-directory table of Fig. 1
+  (aborter processor, aborter transaction id, abort counter, renew
+  counter, gating timer, OFF bit).
+* :mod:`~repro.gating.protocol` — the gate/ungate state machine of
+  Section V (Stop-Clock on abort, timer expiry, the marked-committer
+  OR circuit, TxInfoReq renewal check, stale-OFF recovery).
+"""
+
+from .table import GatingEntry, GatingTable
+from .protocol import GatingUnit
+
+__all__ = ["GatingEntry", "GatingTable", "GatingUnit"]

@@ -1,0 +1,230 @@
+"""The gate/ungate protocol of Section V, one unit per directory.
+
+Lifecycle of a gating episode (paper Fig. 2):
+
+1. **Abort** — a commit flush at this directory invalidates a line the
+   victim speculatively read.  The directory logs the aborter processor
+   id, bumps the abort counter (resetting the renew counter), presets
+   the timer to the contention manager's :math:`W_t(N_a, N_r)`, sets
+   the OFF bit, and sends Stop-Clock with the invalidation
+   (:meth:`GatingUnit.on_abort`).  A ``TxInfoReq`` round-trip to the
+   committer fills the "Aborter Tx Id" field.
+2. **Expiry** — the timer fires; after the multi-cycle high-fan-in OR
+   over the Marked committer ids (Fig. 2e):
+
+   * aborter not marked here → send "on";
+   * aborter marked → ``TxInfoReq`` to it; a null reply (aborter gated
+     or not in a transaction) or a different transaction id → "on";
+   * same transaction id → **renew**: bump the renew counter and re-arm
+     the timer with the new (longer) :math:`W_t`.
+
+3. **Stale-OFF recovery** — any load/store/flush received from a
+   processor marked OFF proves some other directory already woke it;
+   the OFF bit is cleared and the local timer cancelled.
+
+The protocol deliberately biases toward turning processors back on
+(Section VI: "the protocol described in the previous section biases
+slightly more on turning on the processor"); every uncertain branch
+resolves to "on".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cm.base import ContentionManager
+from ..config import SystemConfig
+from ..mem.messages import TurnOn
+from ..sim.stats import StatsRegistry
+from ..sim.trace import NullTrace
+from .table import GatingEntry, GatingTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..htm.machine import Machine
+    from ..mem.directory import Directory
+
+__all__ = ["GatingUnit"]
+
+
+class GatingUnit:
+    """Gating controller attached to one directory."""
+
+    def __init__(
+        self,
+        directory: "Directory",
+        machine: "Machine",
+        cm: ContentionManager,
+        config: SystemConfig,
+        stats: StatsRegistry,
+        trace: NullTrace,
+    ):
+        self._dir = directory
+        self._m = machine
+        self._cm = cm
+        self._config = config
+        self._stats = stats
+        self._trace = trace
+        self.table = GatingTable(config.num_procs)
+        self._prefix = f"dir{directory.dir_id}.gating"
+
+    # ------------------------------------------------------------------
+    # 1. abort path
+    # ------------------------------------------------------------------
+    def on_abort(self, victim: int, aborter: int, aborter_site: str | None) -> bool:
+        """Record an abort of ``victim`` by ``aborter`` at this directory.
+
+        ``aborter_site`` is the committing transaction's identity,
+        carried by the flush request (see
+        :class:`~repro.mem.messages.FlushRequest` for why this replaces
+        the paper's *initial* TxInfoReq round-trip; the renewal-check
+        TxInfoReq below is unchanged).
+
+        Returns True when a Stop-Clock command should ride with the
+        invalidation (i.e. this directory did not already believe the
+        victim to be off).
+        """
+        now = self._m.engine.now
+        entry = self.table.entry(victim)
+        send_stop = not entry.off
+
+        entry.cancel_timer()  # re-arm below; bumps epoch
+        entry.bump_abort(self._config.gating.abort_counter_max)
+        entry.aborter_proc = aborter
+        entry.aborter_site = aborter_site
+        entry.off = True
+        entry.gated_at = now
+        # Momentum (Section VI future work): the victim's invested work
+        # at abort time, learned from the abort acknowledgement.  Used
+        # only by momentum-aware policies; Eq. 8 ignores it.
+        entry.momentum = self._m.proc(victim).attempt_age()
+        self._arm_timer(entry)
+
+        self._stats.bump(f"{self._prefix}.aborts_recorded")
+        self._trace.emit(
+            now,
+            "gate.record",
+            directory=self._dir.dir_id,
+            victim=victim,
+            aborter=aborter,
+            abort_count=entry.abort_count,
+        )
+        return send_stop
+
+    def _arm_timer(self, entry: GatingEntry) -> None:
+        window = self._cm.gating_window_ex(
+            entry.abort_count, entry.renew_count, entry.momentum
+        )
+        self._stats.histogram("gating.window").record(window)
+        epoch = entry.epoch
+        entry.timer_event = self._m.engine.schedule(
+            window, self._timer_expired, entry, epoch
+        )
+
+    # ------------------------------------------------------------------
+    # 2. expiry path
+    # ------------------------------------------------------------------
+    def _timer_expired(self, entry: GatingEntry, epoch: int) -> None:
+        # Note: the chain deliberately does NOT check the OFF bit.  The
+        # bit is the directory's *belief* and may be cleared by stale-OFF
+        # recovery while the victim is in fact still frozen (the request
+        # that cleared it could have been in flight when the Stop-Clock
+        # landed).  A gating episode's timer chain therefore always runs
+        # to completion and ends in a Turn-On — redundant Turn-Ons are
+        # ignored by running processors, and this is what makes the
+        # protocol deadlock-free ("biases slightly more on turning on").
+        if entry.epoch != epoch:
+            return
+        entry.timer_event = None
+        # The high fan-in bitwise OR over Marked processor ids "will
+        # take multiple cycles ... extending the clock gating period
+        # further by a small amount of time."
+        self._m.engine.schedule(
+            self._config.effective_or_circuit_cycles, self._check_ungate, entry, epoch
+        )
+
+    def _check_ungate(self, entry: GatingEntry, epoch: int) -> None:
+        if entry.epoch != epoch:
+            return
+        aborter = entry.aborter_proc
+        if aborter is None or aborter not in self._dir.marked:
+            self._send_on(entry, reason="aborter-absent")
+            return
+        if entry.aborter_site is None:
+            # Aborter info never arrived (or was null); bias to "on".
+            self._send_on(entry, reason="no-aborter-tx")
+            return
+        self._m.query_tx_site(
+            aborter, lambda site: self._after_tx_info(entry, epoch, site)
+        )
+
+    def _after_tx_info(self, entry: GatingEntry, epoch: int, site: str | None) -> None:
+        if entry.epoch != epoch:
+            return
+        if site is not None and site == entry.aborter_site:
+            self._renew(entry)
+        else:
+            # Null reply (aborter itself gated / between transactions)
+            # or a different transaction: turn the victim on.
+            self._send_on(entry, reason="aborter-moved-on")
+
+    def _renew(self, entry: GatingEntry) -> None:
+        entry.renew_count += 1
+        self._stats.bump(f"{self._prefix}.renewals")
+        self._stats.bump("gating.renewals")
+        self._trace.emit(
+            self._m.engine.now,
+            "gate.renew",
+            directory=self._dir.dir_id,
+            victim=entry.proc,
+            abort_count=entry.abort_count,
+            renew_count=entry.renew_count,
+        )
+        self._arm_timer(entry)
+
+    def _send_on(self, entry: GatingEntry, reason: str) -> None:
+        entry.off = False
+        entry.cancel_timer()
+        self._stats.bump(f"{self._prefix}.turn_ons")
+        self._trace.emit(
+            self._m.engine.now,
+            "gate.turn_on",
+            directory=self._dir.dir_id,
+            victim=entry.proc,
+            reason=reason,
+        )
+        proc = self._m.proc(entry.proc)
+        self._m.bus.send_ctrl(
+            proc.receive_turn_on, TurnOn(entry.proc, self._dir.dir_id)
+        )
+
+    # ------------------------------------------------------------------
+    # 3. stale-OFF recovery
+    # ------------------------------------------------------------------
+    def notify_access(self, proc: int, sent_at: int) -> None:
+        """A request issued by ``proc`` arrived: is it proof of life?
+
+        Only requests *issued after* this gating episode began count —
+        a gated processor cannot issue requests, so a later issue time
+        proves some other directory already turned it on.  Requests
+        that were in flight when the Stop-Clock landed prove nothing
+        and must not cancel the wake-up timer (deadlock otherwise).
+        """
+        entry = self.table.entry(proc)
+        if entry.off and sent_at > entry.gated_at:
+            # Paper: "it resets the OFF bit as well in its local table."
+            # Only the bit — the timer chain keeps running and delivers
+            # a redundant Turn-On (see _timer_expired for why this is
+            # load-bearing for deadlock freedom).
+            entry.off = False
+            self._stats.bump(f"{self._prefix}.stale_off_cleared")
+            self._trace.emit(
+                self._m.engine.now,
+                "gate.stale_off",
+                directory=self._dir.dir_id,
+                proc=proc,
+            )
+
+    # ------------------------------------------------------------------
+    def notify_commit(self, proc: int) -> None:
+        """``proc`` committed: reset its abort counter here."""
+        self.table.entry(proc).reset_on_commit()

@@ -1,0 +1,35 @@
+"""Experiment harness (system S10 in DESIGN.md).
+
+High-level entry points:
+
+* :func:`~repro.harness.runner.run_workload` — one workload on one
+  configuration, with energy accounting and functional validation.
+* :func:`~repro.harness.compare.compare_gating` — the paired
+  with/without-clock-gating methodology of Figs. 4–6.
+* :class:`~repro.harness.experiments.EvaluationSuite` — regenerates
+  every table and figure of the paper's evaluation.
+"""
+
+from .runner import RunResult, WorkloadSpec, run_workload, workload
+from .compare import GatingComparison, compare_gating
+from .sweep import w0_sensitivity, proc_scaling
+from .experiments import EvaluationSuite
+from .reporting import format_table, format_matrix
+from .validation import check_serializability
+from ..workloads.registry import available_workloads
+
+__all__ = [
+    "RunResult",
+    "WorkloadSpec",
+    "run_workload",
+    "workload",
+    "GatingComparison",
+    "compare_gating",
+    "w0_sensitivity",
+    "proc_scaling",
+    "EvaluationSuite",
+    "format_table",
+    "format_matrix",
+    "check_serializability",
+    "available_workloads",
+]

@@ -1,0 +1,99 @@
+"""Paired with/without-clock-gating comparison (Figs. 4–6 methodology).
+
+The paper evaluates every (application, processor count) point twice on
+identical hardware — once with the gating protocol, once without — and
+reports speed-up (Fig. 4 annotations), the Eq. (6) energy-reduction
+factor (Fig. 5) and the Eq. (7) average-power reduction (Fig. 6).
+:func:`compare_gating` reproduces exactly that: one workload instance,
+two runs differing only in the gating switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..power.energy import average_power_reduction, energy_reduction
+from ..power.model import PowerModel
+from ..power.report import EnergyReport
+from .runner import RunResult, WorkloadSpec, run_workload
+
+__all__ = ["GatingComparison", "compare_gating"]
+
+
+@dataclass
+class GatingComparison:
+    """Both runs of one evaluation point, with the paper's three metrics."""
+
+    workload: str
+    num_procs: int
+    ungated: RunResult
+    gated: RunResult
+
+    @property
+    def n1(self) -> int:
+        """Ungated parallel time (the paper's N1)."""
+        return self.ungated.parallel_time
+
+    @property
+    def n2(self) -> int:
+        """Gated parallel time (the paper's N2)."""
+        return self.gated.parallel_time
+
+    @property
+    def speedup(self) -> float:
+        """Fig. 4 annotation: N1/N2 (> 1 means gating is faster)."""
+        return self.n1 / self.n2
+
+    @property
+    def energy_reduction(self) -> float:
+        """Eq. (6) / Fig. 5 annotation: Eug/Eg."""
+        return energy_reduction(self.ungated.energy, self.gated.energy)
+
+    @property
+    def power_reduction(self) -> float:
+        """Eq. (7) / Fig. 6: (Eug/Eg)·(N2/N1)."""
+        return average_power_reduction(self.ungated.energy, self.gated.energy)
+
+    def energy_report(self) -> EnergyReport:
+        label = f"{self.workload} × {self.num_procs} procs"
+        return EnergyReport(label, self.ungated.energy, self.gated.energy)
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload} x{self.num_procs}: speed-up {self.speedup:.3f}, "
+            f"energy reduction {self.energy_reduction:.3f}, "
+            f"power reduction {self.power_reduction:.3f} "
+            f"(aborts {self.ungated.aborts} -> {self.gated.aborts})"
+        )
+
+
+def compare_gating(
+    source: WorkloadSpec | str,
+    config: SystemConfig,
+    power_model: PowerModel | None = None,
+    validate: bool = True,
+) -> GatingComparison:
+    """Run ``source`` with and without clock gating on identical hardware.
+
+    The workload instance is built once and reused for both runs, so
+    the two executions see byte-identical initial memory and identical
+    program streams — only the gating switch differs.
+    """
+    if isinstance(source, str):
+        source = WorkloadSpec(source)
+    instance = source.build(config.num_procs)
+    model = power_model if power_model is not None else PowerModel.derive()
+
+    ungated = run_workload(
+        instance, config.with_gating(False), power_model=model, validate=validate
+    )
+    gated = run_workload(
+        instance, config.with_gating(True), power_model=model, validate=validate
+    )
+    return GatingComparison(
+        workload=instance.name,
+        num_procs=config.num_procs,
+        ungated=ungated,
+        gated=gated,
+    )

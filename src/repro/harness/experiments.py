@@ -1,0 +1,197 @@
+"""The paper's full evaluation (Section VIII) as one reusable suite.
+
+:class:`EvaluationSuite` lazily runs each (application × processor
+count) comparison once and derives every figure from the cached runs —
+exactly the data-sharing structure of the paper, where Figs. 4, 5 and 6
+all come from the same simulations:
+
+* Fig. 4 — total parallel execution time, with/without gating, speed-up
+  annotated (``fig4_rows``).
+* Fig. 5 — energy consumption, reduction factor annotated
+  (``fig5_rows``).
+* Fig. 6 — average power dissipation (``fig6_rows``).
+* Fig. 7 — speed-up vs :math:`W_0` and :math:`N_p` (``fig7_matrix``).
+* Fig. 3 — TCC data-cache power vs RW-bit resolution (``fig3_curves``;
+  analytic, no simulation).
+* Table I — power factors (``table1_rows``); Table II — system
+  parameters (``table2_rows``).
+* §VIII headline averages — ``headline()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..config import GatingConfig, SystemConfig
+from ..power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve
+from ..power.model import PowerModel
+from ..workloads.registry import PAPER_APPS
+from .compare import GatingComparison, compare_gating
+from .runner import WorkloadSpec
+from .sweep import DEFAULT_W0_VALUES, w0_sensitivity
+
+__all__ = ["EvaluationSuite"]
+
+
+class EvaluationSuite:
+    """Runs and caches the paper's evaluation grid."""
+
+    def __init__(
+        self,
+        scale: str = "small",
+        seed: int = 0,
+        procs: Sequence[int] = (4, 8, 16),
+        apps: Sequence[str] = PAPER_APPS,
+        w0: int = 8,
+        base_config: SystemConfig | None = None,
+    ):
+        self.scale = scale
+        self.seed = seed
+        self.procs = tuple(procs)
+        self.apps = tuple(apps)
+        self.w0 = w0
+        self._base = base_config if base_config is not None else SystemConfig()
+        self._model = PowerModel.derive()
+        self._comparisons: dict[tuple[str, int], GatingComparison] = {}
+        self._w0_curves: dict[tuple[str, int], dict[int, dict[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _config(self, num_procs: int) -> SystemConfig:
+        return dataclasses.replace(
+            self._base,
+            num_procs=num_procs,
+            num_dirs=None,
+            seed=self.seed,
+            gating=GatingConfig(enabled=True, w0=self.w0),
+        )
+
+    def _spec(self, app: str) -> WorkloadSpec:
+        return WorkloadSpec(app, scale=self.scale, seed=self.seed)
+
+    def comparison(self, app: str, num_procs: int) -> GatingComparison:
+        """The cached gated/ungated pair for one evaluation point."""
+        key = (app, num_procs)
+        if key not in self._comparisons:
+            self._comparisons[key] = compare_gating(
+                self._spec(app), self._config(num_procs), power_model=self._model
+            )
+        return self._comparisons[key]
+
+    def run_all(self) -> None:
+        """Force-run the whole grid (benchmarks call this once)."""
+        for app in self.apps:
+            for num_procs in self.procs:
+                self.comparison(app, num_procs)
+
+    # ------------------------------------------------------------------
+    # figures
+    # ------------------------------------------------------------------
+    def fig4_rows(self) -> list[tuple]:
+        """(app, procs, N1, N2, speed-up) — Fig. 4's bar pairs."""
+        rows = []
+        for app in self.apps:
+            for num_procs in self.procs:
+                c = self.comparison(app, num_procs)
+                rows.append((app, num_procs, c.n1, c.n2, c.speedup))
+        return rows
+
+    def fig5_rows(self) -> list[tuple]:
+        """(app, procs, Eug, Eg, reduction factor) — Fig. 5."""
+        rows = []
+        for app in self.apps:
+            for num_procs in self.procs:
+                c = self.comparison(app, num_procs)
+                rows.append(
+                    (
+                        app,
+                        num_procs,
+                        c.ungated.energy.total,
+                        c.gated.energy.total,
+                        c.energy_reduction,
+                    )
+                )
+        return rows
+
+    def fig6_rows(self) -> list[tuple]:
+        """(app, procs, avg power ungated, gated, reduction) — Fig. 6."""
+        rows = []
+        for app in self.apps:
+            for num_procs in self.procs:
+                c = self.comparison(app, num_procs)
+                rows.append(
+                    (
+                        app,
+                        num_procs,
+                        c.ungated.energy.average_power,
+                        c.gated.energy.average_power,
+                        c.power_reduction,
+                    )
+                )
+        return rows
+
+    def fig7_matrix(
+        self, w0_values: tuple[int, ...] = DEFAULT_W0_VALUES
+    ) -> dict[str, dict[int, dict[int, float]]]:
+        """``{app: {num_procs: {w0: speed-up}}}`` — Fig. 7."""
+        out: dict[str, dict[int, dict[int, float]]] = {}
+        for app in self.apps:
+            out[app] = {}
+            for num_procs in self.procs:
+                key = (app, num_procs)
+                if key not in self._w0_curves:
+                    self._w0_curves[key] = w0_sensitivity(
+                        self._spec(app),
+                        self._config(num_procs),
+                        w0_values=w0_values,
+                        power_model=self._model,
+                    )
+                curve = self._w0_curves[key]
+                out[app][num_procs] = {
+                    w0: curve[w0]["speedup"] for w0 in w0_values
+                }
+        return out
+
+    @staticmethod
+    def fig3_curves(
+        sizes_kb: tuple[int, ...] = FIG3_CACHE_SIZES_KB,
+    ) -> dict[int, list[tuple[int, float]]]:
+        """``{cache KB: [(granularity bytes, normalized power)]}`` — Fig. 3."""
+        return {size: tcc_cache_power_curve(size) for size in sizes_kb}
+
+    # ------------------------------------------------------------------
+    # tables and headline numbers
+    # ------------------------------------------------------------------
+    def table1_rows(self) -> list[tuple[str, float]]:
+        return self._model.table1_rows()
+
+    def table2_rows(self, num_procs: int = 16) -> list[tuple[str, str]]:
+        return self._config(num_procs).table2_rows()
+
+    def headline(self) -> dict[str, float]:
+        """Section VIII averages over the full grid.
+
+        The paper reports the averages as percentages: "average
+        speed-up of 4%", "average reduction in the energy consumption
+        is 19%", "reduction in the average power dissipation is 13%".
+        A reduction factor ``f`` maps to a percentage as ``1 - 1/f``
+        (energy/power) and ``f - 1`` (speed-up).
+        """
+        comparisons = [
+            self.comparison(app, num_procs)
+            for app in self.apps
+            for num_procs in self.procs
+        ]
+        n = len(comparisons)
+        avg_speedup = sum(c.speedup for c in comparisons) / n
+        avg_energy = sum(c.energy_reduction for c in comparisons) / n
+        avg_power = sum(c.power_reduction for c in comparisons) / n
+        return {
+            "average_speedup_factor": avg_speedup,
+            "average_speedup_pct": (avg_speedup - 1.0) * 100.0,
+            "average_energy_reduction_factor": avg_energy,
+            "average_energy_reduction_pct": (1.0 - 1.0 / avg_energy) * 100.0,
+            "average_power_reduction_factor": avg_power,
+            "average_power_reduction_pct": (1.0 - 1.0 / avg_power) * 100.0,
+            "points": float(n),
+        }

@@ -1,0 +1,177 @@
+"""Single-run execution: workload × configuration → :class:`RunResult`.
+
+A run builds (or accepts) a workload instance, wires a machine,
+executes to completion, verifies the timeline tiling invariant, runs
+the workload's functional validators against final memory, optionally
+checks TID-order serializability, and computes the energy breakdown
+with the paper's accounting (cross-checked interval vs direct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import SystemConfig
+from ..errors import HarnessError
+from ..htm.machine import Machine, MachineResult
+from ..power.energy import EnergyBreakdown, compute_energy
+from ..power.model import PowerModel
+from ..sim.timeline import verify_tiling
+from ..sim.trace import NullTrace
+from ..workloads.base import WorkloadInstance
+from ..workloads.registry import build_workload
+from .validation import check_serializability
+
+__all__ = ["WorkloadSpec", "workload", "RunResult", "run_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload by name, to be built against a configuration.
+
+    The thread count is deliberately absent: it is taken from
+    ``SystemConfig.num_procs`` at run time, so the same spec serves a
+    4-, 8- and 16-core sweep (Fig. 4's x-axis).
+    """
+
+    name: str
+    scale: str = "small"
+    seed: int = 0
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def build(self, num_threads: int) -> WorkloadInstance:
+        return build_workload(
+            self.name,
+            num_threads,
+            scale=self.scale,
+            seed=self.seed,
+            **dict(self.overrides),
+        )
+
+
+def workload(
+    name: str, scale: str = "small", seed: int = 0, **overrides: Any
+) -> WorkloadSpec:
+    """Convenience constructor: ``workload("intruder", scale="tiny")``."""
+    return WorkloadSpec(name, scale, seed, tuple(sorted(overrides.items())))
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    workload: str
+    scale: str
+    config: SystemConfig
+    machine_result: MachineResult
+    energy: EnergyBreakdown
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def parallel_time(self) -> int:
+        """The paper's N (N1 ungated, N2 gated)."""
+        return self.machine_result.parallel_time
+
+    @property
+    def end_cycle(self) -> int:
+        return self.machine_result.end_cycle
+
+    @property
+    def commits(self) -> int:
+        return self.counters.get("tx.commits", 0)
+
+    @property
+    def aborts(self) -> int:
+        """All futile re-executions (conflict aborts + wake-up self-aborts)."""
+        return self.counters.get("tx.aborts.conflict", 0) + self.counters.get(
+            "tx.aborts.self", 0
+        )
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.counters.get("tx.attempts", 0)
+        return self.aborts / attempts if attempts else 0.0
+
+    @property
+    def wasted_cycles(self) -> int:
+        return self.counters.get("tx.wasted_cycles", 0)
+
+    def summary(self) -> str:
+        gating = "gated" if self.config.gating.enabled else "ungated"
+        return (
+            f"{self.workload}[{self.scale}] x{self.config.num_procs} "
+            f"({gating}): N={self.parallel_time} E={self.energy.total:.0f} "
+            f"commits={self.commits} aborts={self.aborts} "
+            f"(rate {self.abort_rate:.1%})"
+        )
+
+
+def _resolve_instance(
+    source: WorkloadInstance | WorkloadSpec | str, config: SystemConfig
+) -> WorkloadInstance:
+    if isinstance(source, WorkloadInstance):
+        if source.num_threads != config.num_procs:
+            raise HarnessError(
+                f"workload built for {source.num_threads} threads cannot run "
+                f"on {config.num_procs} processors"
+            )
+        return source
+    if isinstance(source, WorkloadSpec):
+        return source.build(config.num_procs)
+    if isinstance(source, str):
+        return WorkloadSpec(source).build(config.num_procs)
+    raise HarnessError(f"cannot interpret workload source {source!r}")
+
+
+def run_workload(
+    source: WorkloadInstance | WorkloadSpec | str,
+    config: SystemConfig,
+    power_model: PowerModel | None = None,
+    trace: NullTrace | None = None,
+    validate: bool = True,
+    check_serial: bool = False,
+) -> RunResult:
+    """Execute one workload under one configuration.
+
+    Parameters
+    ----------
+    validate:
+        Run the workload's functional validators on final memory and
+        verify the timeline tiling invariant (cheap; on by default).
+    check_serial:
+        Record per-transaction read/write logs and verify TID-order
+        serializability (Invariant 1; costs memory — used by tests).
+    """
+    instance = _resolve_instance(source, config)
+    machine = Machine(
+        config,
+        instance.programs,
+        initial_memory=instance.initial_memory,
+        trace=trace,
+        validation_mode=check_serial,
+    )
+    mresult = machine.run()
+
+    window = (mresult.parallel_start, mresult.parallel_end)
+    if validate:
+        verify_tiling(mresult.timelines, *window)
+        instance.validate_final_memory(mresult.memory_snapshot)
+    if check_serial:
+        check_serializability(
+            instance.initial_memory, mresult, machine.memory.version_log
+        )
+
+    model = power_model if power_model is not None else PowerModel.derive()
+    energy = compute_energy(
+        mresult.timelines, window, model, gated_run=config.gating.enabled
+    )
+
+    return RunResult(
+        workload=instance.name,
+        scale=instance.scale,
+        config=config,
+        machine_result=mresult,
+        energy=energy,
+        counters=mresult.counters(),
+    )

@@ -1,0 +1,73 @@
+"""Parameter sweeps: the Fig. 7 sensitivity analysis and scaling studies.
+
+Fig. 7 plots speed-up (gated vs ungated) as a function of the
+contention-management constant :math:`W_0` and the processor count
+:math:`N_p`.  The ungated baseline does not depend on :math:`W_0`, so
+each (workload, Np) point runs one baseline plus one gated run per
+:math:`W_0` value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import SystemConfig
+from ..power.model import PowerModel
+from .runner import RunResult, WorkloadSpec, run_workload
+
+__all__ = ["w0_sensitivity", "proc_scaling"]
+
+#: the W0 values swept in our Fig. 7 reproduction
+DEFAULT_W0_VALUES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+__all__.append("DEFAULT_W0_VALUES")
+
+
+def w0_sensitivity(
+    source: WorkloadSpec | str,
+    config: SystemConfig,
+    w0_values: tuple[int, ...] = DEFAULT_W0_VALUES,
+    power_model: PowerModel | None = None,
+) -> dict[int, dict[str, float]]:
+    """Speed-up and energy reduction per :math:`W_0` (one Fig. 7 curve).
+
+    Returns ``{w0: {"speedup": ..., "energy_reduction": ...,
+    "power_reduction": ...}}`` for the given processor count.
+    """
+    if isinstance(source, str):
+        source = WorkloadSpec(source)
+    instance = source.build(config.num_procs)
+    model = power_model if power_model is not None else PowerModel.derive()
+
+    baseline = run_workload(
+        instance, config.with_gating(False), power_model=model
+    )
+    results: dict[int, dict[str, float]] = {}
+    for w0 in w0_values:
+        gated_cfg = config.with_gating(True).with_w0(w0)
+        gated = run_workload(instance, gated_cfg, power_model=model)
+        results[w0] = {
+            "speedup": baseline.parallel_time / gated.parallel_time,
+            "energy_reduction": baseline.energy.total / gated.energy.total,
+            "power_reduction": (baseline.energy.total / gated.energy.total)
+            * (gated.parallel_time / baseline.parallel_time),
+            "n1": float(baseline.parallel_time),
+            "n2": float(gated.parallel_time),
+        }
+    return results
+
+
+def proc_scaling(
+    source: WorkloadSpec | str,
+    base_config: SystemConfig,
+    proc_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    power_model: PowerModel | None = None,
+) -> dict[int, RunResult]:
+    """Parallel-time scaling of one configuration across core counts."""
+    if isinstance(source, str):
+        source = WorkloadSpec(source)
+    model = power_model if power_model is not None else PowerModel.derive()
+    results: dict[int, RunResult] = {}
+    for num_procs in proc_counts:
+        config = dataclasses.replace(base_config, num_procs=num_procs)
+        results[num_procs] = run_workload(source, config, power_model=model)
+    return results

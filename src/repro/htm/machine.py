@@ -1,0 +1,329 @@
+"""The machine: wiring, global services and the run loop.
+
+``Machine`` assembles one simulated system from a
+:class:`~repro.config.SystemConfig` and a list of thread programs: the
+event engine, bus, main memory, directories (with optional gating
+units), token vendor, contention manager, per-processor caches and
+power-state timelines.
+
+It also provides the few *global* services the models need:
+
+* token-vendor access with bus timing (:meth:`request_tid`),
+* ``TxInfoReq`` round-trips for the gating units (:meth:`query_tx_site`),
+* program-level barriers,
+* the parallel-section window (first transaction begin to last commit
+  completion — the measurement interval of Section IV), and
+* commit bookkeeping fan-out (gating-counter resets; the paper resets a
+  processor's abort counters when it commits).
+
+``run()`` drives the event loop until every thread program finishes,
+then finalizes the timelines and returns a :class:`MachineResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..cm.base import ContentionManager
+from ..cm.registry import create_cm
+from ..config import SystemConfig
+from ..errors import ConfigError, DeadlockError, SimulationError
+from ..gating.protocol import GatingUnit
+from ..mem.address import AddressMap
+from ..mem.bus import Bus
+from ..mem.cache import L1Cache
+from ..mem.directory import Directory
+from ..mem.memory import MainMemory
+from ..power.states import ProcState
+from ..sim.engine import Engine
+from ..sim.rng import derive_seed, spawn_rngs
+from ..sim.stats import StatsRegistry
+from ..sim.timeline import StateTimeline
+from ..sim.trace import NullTrace
+from .processor import Processor
+from .program import ThreadContext, ThreadProgram
+from .token import TokenVendor
+from .transaction import TxState
+
+__all__ = ["Machine", "MachineResult", "CommittedTx"]
+
+
+@dataclass(frozen=True)
+class CommittedTx:
+    """Snapshot of one committed transaction (validation mode only)."""
+
+    tid: int
+    proc: int
+    site: str
+    commit_time: int
+    reads: tuple[tuple[int, int], ...]
+    writes: tuple[tuple[int, int], ...]
+
+
+@dataclass
+class MachineResult:
+    """Raw outcome of one simulation run."""
+
+    config: SystemConfig
+    end_cycle: int
+    parallel_start: int
+    parallel_end: int
+    timelines: list[StateTimeline]
+    stats: StatsRegistry
+    commit_log: list[CommittedTx] = field(default_factory=list)
+    memory_snapshot: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def parallel_time(self) -> int:
+        """The paper's N: last transaction end minus first transaction start."""
+        return self.parallel_end - self.parallel_start
+
+    def counters(self) -> dict[str, int]:
+        return self.stats.counters()
+
+
+class _BarrierState:
+    __slots__ = ("waiters",)
+
+    def __init__(self) -> None:
+        self.waiters: list[tuple[int, Callable[[Any], None]]] = []
+
+
+class Machine:
+    """One fully-wired simulated system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[ThreadProgram],
+        program_params: dict[str, Any] | None = None,
+        initial_memory: dict[int, int] | None = None,
+        trace: NullTrace | None = None,
+        validation_mode: bool = False,
+    ):
+        if len(programs) != config.num_procs:
+            raise ConfigError(
+                f"{config.num_procs} processors but {len(programs)} thread "
+                "programs; they must match one-to-one"
+            )
+        self.config = config
+        self.validation_mode = validation_mode
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.trace = trace if trace is not None else NullTrace()
+        self.addr_map = AddressMap(
+            line_bytes=config.cache.line_bytes,
+            num_dirs=config.effective_num_dirs,
+            memory_bytes=config.memory.size_bytes,
+        )
+        self.memory = MainMemory(
+            self.engine, config.memory, self.stats, record_versions=validation_mode
+        )
+        if initial_memory:
+            self.memory.load_image(initial_memory)
+        self.bus = Bus(self.engine, config.bus, self.stats)
+        self.vendor = TokenVendor(self.engine, self.stats)
+        self.cm: ContentionManager = create_cm(config.gating, config.seed)
+
+        self._timelines = [
+            StateTimeline(ProcState.RUN) for _ in range(config.num_procs)
+        ]
+
+        self.dirs: list[Directory] = [
+            Directory(
+                d,
+                self.engine,
+                self.bus,
+                self.memory,
+                config.directory,
+                self.addr_map,
+                self.stats,
+                self.trace,
+            )
+            for d in range(config.effective_num_dirs)
+        ]
+        self.gating_units: list[GatingUnit] = []
+        for directory in self.dirs:
+            unit = None
+            if config.gating.enabled:
+                unit = GatingUnit(
+                    directory, self, self.cm, config, self.stats, self.trace
+                )
+                self.gating_units.append(unit)
+            directory.attach(self, unit)
+
+        self.procs: list[Processor] = [
+            Processor(p, self) for p in range(config.num_procs)
+        ]
+
+        self._programs = list(programs)
+        self._program_params = dict(program_params or {})
+        self._barriers: dict[str, _BarrierState] = {}
+        self._finished = 0
+        self.parallel_start: int | None = None
+        self.parallel_end: int | None = None
+        self.commit_log: list[CommittedTx] = []
+
+    # ------------------------------------------------------------------
+    # component access
+    # ------------------------------------------------------------------
+    def proc(self, proc_id: int) -> Processor:
+        return self.procs[proc_id]
+
+    def dir(self, dir_id: int) -> Directory:
+        return self.dirs[dir_id]
+
+    def timeline(self, proc_id: int) -> StateTimeline:
+        return self._timelines[proc_id]
+
+    def build_cache(self, proc_id: int) -> L1Cache:
+        return L1Cache(self.config.cache, proc_id, self.stats)
+
+    # ------------------------------------------------------------------
+    # global services
+    # ------------------------------------------------------------------
+    def request_tid(self, proc: Processor, epoch: int) -> None:
+        """Token request: bus to the vendor, vendor latency, bus back."""
+
+        def at_vendor() -> None:
+            self.engine.schedule(
+                self.config.commit.token_vendor_latency, grant
+            )
+
+        def grant() -> None:
+            tid = self.vendor.issue(proc.proc_id)
+            self.bus.send_ctrl(deliver, tid)
+
+        def deliver(tid: int) -> None:
+            if not proc.accept_tid(epoch, tid):
+                # Processor aborted while the grant was in flight.
+                self.vendor.release(tid)
+                self.stats.bump("vendor.stale_grants")
+
+        self.bus.send_ctrl(at_vendor)
+
+    def query_tx_site(self, target: int, cont: Callable[[str | None], None]) -> None:
+        """TxInfoReq/Reply round-trip over the bus.
+
+        The target's transaction identity is sampled at request-arrival
+        time (what the hardware's reply would carry) and handed to
+        ``cont`` after the return bus hop.
+        """
+
+        def at_target() -> None:
+            site = self.proc(target).current_tx_site()
+            self.bus.send_ctrl(cont, site)
+
+        self.bus.send_ctrl(at_target)
+        self.stats.bump("gating.txinfo_requests")
+
+    # -- barriers --------------------------------------------------------
+    def barrier_arrive(
+        self, name: str, proc_id: int, cont: Callable[[Any], None]
+    ) -> None:
+        state = self._barriers.setdefault(name, _BarrierState())
+        state.waiters.append((proc_id, cont))
+        self.trace.emit(self.engine.now, "barrier.arrive", name=name, proc=proc_id)
+        if len(state.waiters) == self.config.num_procs:
+            waiters = state.waiters
+            state.waiters = []
+            for _, waiter_cont in waiters:
+                self.engine.schedule(1, waiter_cont, None)
+            self.trace.emit(self.engine.now, "barrier.release", name=name)
+
+    # -- parallel-section window ------------------------------------------
+    def note_first_tx(self, time: int) -> None:
+        if self.parallel_start is None:
+            self.parallel_start = time
+
+    def note_tx_end(self, time: int) -> None:
+        if self.parallel_end is None or time > self.parallel_end:
+            self.parallel_end = time
+
+    # -- commit fan-out ----------------------------------------------------
+    def notify_commit(self, proc_id: int) -> None:
+        """Reset the committer's abort counters in every directory."""
+        for unit in self.gating_units:
+            unit.notify_commit(proc_id)
+
+    def record_committed_tx(self, tx: TxState) -> None:
+        self.commit_log.append(
+            CommittedTx(
+                tid=tx.tid,
+                proc=tx.proc_id,
+                site=tx.site,
+                commit_time=self.engine.now,
+                reads=tuple(tx.read_log or ()),
+                writes=tuple(sorted(tx.writes.items())),
+            )
+        )
+
+    def proc_finished(self, proc_id: int) -> None:
+        self._finished += 1
+        self.trace.emit(self.engine.now, "proc.finished", proc=proc_id)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self) -> MachineResult:
+        """Execute until every thread program completes."""
+        num = self.config.num_procs
+        rngs = spawn_rngs(derive_seed(self.config.seed, "threads"), num)
+        for proc_id, (program, rng) in enumerate(zip(self._programs, rngs)):
+            ctx = ThreadContext(
+                proc_id=proc_id,
+                num_threads=num,
+                rng=rng,
+                params=dict(self._program_params),
+            )
+            self.procs[proc_id].start(program, ctx)
+
+        max_cycles = self.config.max_cycles
+        engine = self.engine
+        while self._finished < num:
+            if not engine.step():
+                raise DeadlockError(self._deadlock_report())
+            if max_cycles is not None and engine.now > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} with "
+                    f"{num - self._finished} threads unfinished"
+                )
+
+        end = engine.now
+        for timeline in self._timelines:
+            timeline.finalize(end)
+
+        if self.parallel_start is None:
+            # No transactions at all: degenerate window.
+            self.parallel_start = 0
+            self.parallel_end = end
+        elif self.parallel_end is None:
+            raise SimulationError("transactions began but none committed")
+
+        return MachineResult(
+            config=self.config,
+            end_cycle=end,
+            parallel_start=self.parallel_start,
+            parallel_end=self.parallel_end,
+            timelines=self._timelines,
+            stats=self.stats,
+            commit_log=self.commit_log,
+            memory_snapshot=self.memory.snapshot(),
+        )
+
+    def _deadlock_report(self) -> str:
+        lines = [
+            "event queue drained with unfinished threads "
+            f"({self._finished}/{self.config.num_procs} done at "
+            f"t={self.engine.now}):"
+        ]
+        for proc in self.procs:
+            lines.append(f"  {proc!r}")
+        for name, state in self._barriers.items():
+            if state.waiters:
+                lines.append(
+                    f"  barrier {name!r} waiting: "
+                    f"{sorted(p for p, _ in state.waiters)}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Architectural intents yielded by thread programs.
+
+A thread program is a generator; every ``yield`` hands the processor an
+intent and suspends until the processor has executed it with full
+timing.  ``Load`` yields back the loaded value (data-dependent control
+flow works naturally), the others yield ``None``.
+
+Intents are deliberately minimal — the simulator models *memory system
+behaviour*, not an ISA.  Straight-line computation between memory
+references is abstracted as ``Compute(cycles)``, the standard
+trace/intent-driven simulation idiom (one event instead of one event
+per instruction keeps 16-core runs tractable in CPython; see the
+optimization guide's "algorithmic optimization first").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Any
+
+from ..errors import WorkloadError
+
+__all__ = ["Op", "Load", "Store", "Compute", "TxOp", "BarrierOp", "transaction"]
+
+
+class Op:
+    """Base class for all intents (useful for isinstance dispatch)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Load(Op):
+    """Read the 8-byte word at byte address ``addr``; yields the value.
+
+    Inside a transaction the load is speculative: the line enters the
+    transaction's read-set and a later conflicting commit aborts the
+    attempt.  Loads see the transaction's own buffered stores
+    (store-to-load forwarding).
+    """
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store(Op):
+    """Write ``value`` to the word at ``addr``.
+
+    Inside a transaction the store is buffered in the store-address
+    FIFO (the paper's 1024-entry write buffer) and becomes globally
+    visible only at commit flush.  Outside transactions it writes
+    memory directly and must only target thread-private data.
+    """
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Spend ``cycles`` of pure computation (no memory traffic)."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise WorkloadError(f"negative compute time: {self.cycles}")
+
+
+@dataclass(frozen=True)
+class TxOp(Op):
+    """Run ``body`` as one atomic transaction; yields ``tx.result``.
+
+    ``body`` is called with a fresh :class:`~repro.htm.transaction.TxHandle`
+    on *every attempt* and must return a generator yielding
+    ``Load``/``Store``/``Compute`` intents.  Re-execution after an abort
+    simply re-instantiates the generator, which is why transaction
+    bodies must route all shared state through ``Load``/``Store`` and
+    keep no external side effects.
+
+    ``site`` is the static identity of the transaction — the program
+    counter value of the instruction that started it, in the paper's
+    terms (Section III).  The gating renewal check compares sites.
+    """
+
+    body: Callable[["Any"], Generator]
+    site: str
+
+    def __post_init__(self) -> None:
+        if not callable(self.body):
+            raise WorkloadError("transaction body must be callable")
+        if not self.site:
+            raise WorkloadError("transaction site id must be non-empty")
+
+
+@dataclass(frozen=True)
+class BarrierOp(Op):
+    """Block until every thread has reached the barrier named ``name``.
+
+    Only valid at program level (not inside a transaction body).
+    Spinning at a barrier consumes full run-mode power, per the paper's
+    power model ("at synchronization points the processor consumes full
+    run mode power while executing spin-locks").
+    """
+
+    name: str
+
+
+def transaction(site: str) -> Callable:
+    """Decorator sugar: turn a body generator function into a TxOp factory.
+
+    Example::
+
+        @transaction("deposit")
+        def deposit(tx, account_addr, amount):
+            balance = yield Load(account_addr)
+            yield Store(account_addr, balance + amount)
+
+        # inside a thread program:
+        yield deposit(account_addr=a, amount=5)
+    """
+
+    def wrap(body_fn: Callable) -> Callable[..., TxOp]:
+        def make(*args: Any, **kwargs: Any) -> TxOp:
+            def bound(tx: Any) -> Generator:
+                return body_fn(tx, *args, **kwargs)
+
+            return TxOp(bound, site)
+
+        make.__name__ = f"tx_{getattr(body_fn, '__name__', site)}"
+        make.site = site  # type: ignore[attr-defined]
+        return make
+
+    return wrap

@@ -1,0 +1,43 @@
+"""Memory-hierarchy substrate (system S2 in DESIGN.md).
+
+Models the Table II machine: private L1 data caches with speculative
+read/write tracking, a common split-transaction bus, full-bit-vector
+directories that interleave physical memory at cache-line granularity,
+and a single-ported main memory.
+"""
+
+from .address import AddressMap, WORD_BYTES
+from .bus import Bus
+from .cache import L1Cache, CacheLineState
+from .directory import Directory
+from .memory import MainMemory
+from .messages import (
+    FillRequest,
+    FillReply,
+    FlushRequest,
+    FlushDone,
+    Invalidation,
+    StopClock,
+    TurnOn,
+    TxInfoReq,
+    TxInfoReply,
+)
+
+__all__ = [
+    "AddressMap",
+    "WORD_BYTES",
+    "Bus",
+    "L1Cache",
+    "CacheLineState",
+    "Directory",
+    "MainMemory",
+    "FillRequest",
+    "FillReply",
+    "FlushRequest",
+    "FlushDone",
+    "Invalidation",
+    "StopClock",
+    "TurnOn",
+    "TxInfoReq",
+    "TxInfoReply",
+]

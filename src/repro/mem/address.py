@@ -1,0 +1,83 @@
+"""Address arithmetic: words, cache lines and directory homes.
+
+The machine is word-addressed at 8-byte granularity (Alpha is a 64-bit
+architecture); cache lines are 64 bytes (Table II), i.e. 8 words.
+Physical memory is interleaved across the directories at cache-line
+granularity: line ``l`` is homed at directory ``l mod num_dirs``, the
+standard DSM mapping the paper's Fig. 2 assumes (each directory "maps
+different segments of the physical memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MemoryModelError
+
+WORD_BYTES = 8
+
+__all__ = ["WORD_BYTES", "AddressMap"]
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Pure address arithmetic for one machine configuration."""
+
+    line_bytes: int
+    num_dirs: int
+    memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.line_bytes % WORD_BYTES != 0:
+            raise MemoryModelError(
+                f"line size {self.line_bytes} must be a multiple of the "
+                f"{WORD_BYTES}-byte word"
+            )
+        if self.num_dirs < 1:
+            raise MemoryModelError("need at least one directory")
+        if self.memory_bytes < self.line_bytes:
+            raise MemoryModelError("memory smaller than one cache line")
+
+    # -- validation ----------------------------------------------------
+    def check_word_addr(self, addr: int) -> int:
+        """Validate an 8-byte-aligned byte address inside memory."""
+        if addr < 0 or addr + WORD_BYTES > self.memory_bytes:
+            raise MemoryModelError(
+                f"address {addr:#x} outside memory of {self.memory_bytes} bytes"
+            )
+        if addr % WORD_BYTES != 0:
+            raise MemoryModelError(f"address {addr:#x} is not word-aligned")
+        return addr
+
+    # -- conversions ---------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Cache-line index containing byte address ``addr``."""
+        return addr // self.line_bytes
+
+    def line_base(self, line: int) -> int:
+        """Byte address of the first word of ``line``."""
+        return line * self.line_bytes
+
+    def words_of_line(self, line: int) -> range:
+        """Byte addresses of every word in ``line``."""
+        base = self.line_base(line)
+        return range(base, base + self.line_bytes, WORD_BYTES)
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // WORD_BYTES
+
+    # -- homing --------------------------------------------------------
+    def home_of_line(self, line: int) -> int:
+        """Directory id that owns ``line`` (line-interleaved)."""
+        return line % self.num_dirs
+
+    def home_of_addr(self, addr: int) -> int:
+        return self.home_of_line(self.line_of(addr))
+
+    def lines_by_home(self, lines) -> dict[int, list[int]]:
+        """Group an iterable of line ids by their home directory."""
+        grouped: dict[int, list[int]] = {}
+        for line in sorted(set(lines)):
+            grouped.setdefault(self.home_of_line(line), []).append(line)
+        return grouped

@@ -1,0 +1,76 @@
+"""The common split-transaction bus (Table II interconnect).
+
+Every inter-component message — fill requests/replies, commit flushes,
+invalidation broadcasts, token requests and the gating control messages
+— crosses this single shared medium.  The model is a classic occupancy
+resource:
+
+* a message departs at ``max(now, busy_until)``,
+* occupies the bus for ``occupancy`` cycles (``data_occupancy`` for
+  data-bearing beats such as fill replies and flush bodies),
+* and arrives ``wire_latency`` cycles after its last beat.
+
+Because ``busy_until`` advances monotonically, message *arrival order
+equals send order* — the bus is FIFO.  The HTM commit protocol relies
+on this ordering guarantee: a commit-completion acknowledgement sent
+after an invalidation broadcast can never overtake it, which closes the
+validation race discussed in DESIGN.md §5 (a committer only completes
+after every conflicting invalidation from older transactions has been
+delivered).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..config import BusConfig
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+
+__all__ = ["Bus"]
+
+
+class Bus:
+    """Shared split-transaction bus with FIFO ordering."""
+
+    def __init__(self, engine: Engine, config: BusConfig, stats: StatsRegistry):
+        self._engine = engine
+        self._config = config
+        self._stats = stats
+        self._busy_until = 0
+
+    # ------------------------------------------------------------------
+    def send_ctrl(self, fn: Callable[..., Any], *args: Any) -> int:
+        """Send a control (address-only) message; returns arrival time."""
+        return self._send(self._config.occupancy, fn, *args)
+
+    def send_data(self, fn: Callable[..., Any], *args: Any) -> int:
+        """Send a data-bearing message; returns arrival time."""
+        return self._send(self._config.data_occupancy, fn, *args)
+
+    def _send(self, occupancy: int, fn: Callable[..., Any], *args: Any) -> int:
+        engine = self._engine
+        depart = max(engine.now, self._busy_until)
+        queue_delay = depart - engine.now
+        self._busy_until = depart + occupancy
+        arrival = self._busy_until + self._config.wire_latency
+        engine.schedule_at(arrival, fn, *args)
+
+        stats = self._stats
+        stats.bump("bus.messages")
+        stats.bump("bus.busy_cycles", occupancy)
+        if queue_delay:
+            stats.bump("bus.queue_cycles", queue_delay)
+        return arrival
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the bus next becomes free (for tests)."""
+        return self._busy_until
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the bus spent occupied."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._stats.get("bus.busy_cycles") / elapsed)

@@ -1,0 +1,191 @@
+"""Private L1 data cache with TCC speculative state bits.
+
+Table II: 64 KB, 64-byte lines, 2-way set associative, 1-cycle hits.
+
+The cache is a *timing* model: data values live in the functional
+memory (committed state) and the transaction's store buffer
+(speculative state), exactly mirroring a TCC machine where speculative
+stores sit in the store-address FIFO / write buffer rather than being
+globally visible.  The cache decides hit-vs-miss, tracks per-line
+speculatively-read (SR) and speculatively-modified (SM) bits, and
+applies LRU replacement.
+
+Replacement of speculative lines is *allowed* and safe: conflict
+detection does not depend on cache residency because (a) the directory
+keeps the sharer registration until the next invalidation, so an
+evicted speculative reader still receives the abort, and (b) store data
+lives in the bounded store buffer (the paper's 1024-entry store-address
+FIFO).  Evictions of speculative lines are counted in the statistics;
+store-buffer overflow is enforced by the transaction layer.
+
+On abort, speculatively-modified lines are invalidated (their contents
+were never architectural); speculatively-read lines stay valid since
+they still mirror committed memory.  On commit both kinds survive with
+their speculative bits cleared — the committer becomes the line owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import CacheConfig
+from ..sim.stats import StatsRegistry
+
+__all__ = ["CacheLineState", "L1Cache"]
+
+
+@dataclass
+class CacheLineState:
+    """One resident cache line (tags only — data is functional).
+
+    ``partial`` marks a line allocated by a *store* without a directory
+    fill: it conceptually holds only the written words (per-word valid
+    bits in hardware).  Loads of other words in a partial line must
+    take the miss path — both for data (the cache never had those
+    words) and for conflict tracking (only a directory fill registers
+    the processor as a sharer).  A completing fill clears the flag.
+    """
+
+    line: int
+    spec_read: bool = False
+    spec_written: bool = False
+    partial: bool = False
+    last_use: int = 0
+
+    @property
+    def speculative(self) -> bool:
+        return self.spec_read or self.spec_written
+
+
+class L1Cache:
+    """Set-associative, LRU, write-allocate (into the store buffer)."""
+
+    def __init__(self, config: CacheConfig, proc_id: int, stats: StatsRegistry):
+        self._config = config
+        self._proc_id = proc_id
+        self._stats = stats
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        # set index -> {line id -> CacheLineState}
+        self._sets: list[dict[int, CacheLineState]] = [
+            {} for _ in range(self._num_sets)
+        ]
+        self._use_clock = 0
+        self._prefix = f"proc{proc_id}.cache"
+
+    # ------------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        """Set holding ``line`` (low-order line-number bits)."""
+        return line & (self._num_sets - 1)
+
+    def lookup(self, line: int) -> CacheLineState | None:
+        """Return the resident entry (without touching LRU state)."""
+        return self._sets[self.set_index(line)].get(line)
+
+    def contains(self, line: int) -> bool:
+        return self.lookup(line) is not None
+
+    # ------------------------------------------------------------------
+    def touch(self, line: int) -> CacheLineState | None:
+        """LRU-touch ``line``; returns the entry if resident (a hit)."""
+        entry = self.lookup(line)
+        if entry is not None:
+            self._use_clock += 1
+            entry.last_use = self._use_clock
+        return entry
+
+    def fill(self, line: int, partial: bool = False) -> int | None:
+        """Install ``line``; returns the evicted line id, if any.
+
+        ``partial=True`` is the store-allocation path (no data fetched,
+        no directory registration — see :class:`CacheLineState`).  A
+        completing (non-partial) fill upgrades a resident partial line;
+        a partial fill never downgrades a complete one.
+
+        Idempotent for resident lines.  Victim selection prefers an
+        empty way, then non-speculative LRU, then speculative LRU (see
+        module docstring for why evicting speculative state is safe).
+        """
+        set_ = self._sets[self.set_index(line)]
+        entry = set_.get(line)
+        self._use_clock += 1
+        if entry is not None:
+            entry.last_use = self._use_clock
+            if not partial:
+                entry.partial = False
+            return None
+
+        victim_line: int | None = None
+        if len(set_) >= self._ways:
+            non_spec = [e for e in set_.values() if not e.speculative]
+            pool = non_spec if non_spec else list(set_.values())
+            victim = min(pool, key=lambda e: e.last_use)
+            victim_line = victim.line
+            del set_[victim.line]
+            self._stats.bump(f"{self._prefix}.evictions")
+            if victim.speculative:
+                self._stats.bump(f"{self._prefix}.spec_evictions")
+
+        set_[line] = CacheLineState(line, partial=partial, last_use=self._use_clock)
+        self._stats.bump(f"{self._prefix}.fills")
+        return victim_line
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` (coherence invalidation); True if it was resident."""
+        set_ = self._sets[self.set_index(line)]
+        if line in set_:
+            del set_[line]
+            self._stats.bump(f"{self._prefix}.invalidations")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # speculative state
+    # ------------------------------------------------------------------
+    def mark_spec_read(self, line: int) -> None:
+        entry = self.lookup(line)
+        if entry is not None:
+            entry.spec_read = True
+
+    def mark_spec_written(self, line: int) -> None:
+        entry = self.lookup(line)
+        if entry is not None:
+            entry.spec_written = True
+
+    def clear_speculative(self, lines, commit: bool) -> None:
+        """End-of-transaction cleanup over the transaction's lines.
+
+        ``commit=True`` keeps everything resident (data now matches
+        memory); ``commit=False`` invalidates speculatively-modified
+        lines whose contents were never architectural.
+        """
+        for line in lines:
+            entry = self.lookup(line)
+            if entry is None:
+                continue
+            if not commit and entry.spec_written:
+                del self._sets[self.set_index(line)][line]
+                continue
+            entry.spec_read = False
+            entry.spec_written = False
+
+    def speculative_lines(self) -> Iterator[int]:
+        for set_ in self._sets:
+            for entry in set_.values():
+                if entry.speculative:
+                    yield entry.line
+
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> Iterator[int]:
+        for set_ in self._sets:
+            yield from set_.keys()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<L1Cache proc={self._proc_id} {self.occupancy()}/"
+            f"{self._config.num_lines} lines>"
+        )

@@ -1,0 +1,247 @@
+"""Directory controller: sharer tracking, fills and TID-ordered commits.
+
+Each directory owns a line-interleaved slice of physical memory
+(Table II: full-bit-vector sharer list, 10-cycle service latency) and is
+the serialization point of the Scalable-TCC commit protocol: write-set
+flushes are applied here, and the invalidations it broadcasts are the
+*only* mechanism that aborts transactions (Section III of the paper).
+
+Service model
+-------------
+The directory is a single pipelined server: every request (fill or
+flush) occupies it for its service time, starting at
+``max(arrival, busy_until)`` — FIFO among arrivals, which combined with
+the FIFO bus gives a deterministic total order.
+
+Commit flushes occupy the server for ``latency + lines × commit_line_cycles``
+cycles.  At completion the directory
+
+1. applies the committed words to functional memory,
+2. re-homes sharer bits (committer becomes owner, others dropped),
+3. broadcasts one invalidation message per victim sharer (single bus
+   data transaction — the split-transaction bus is a broadcast medium),
+   attaching a Stop-Clock command for victims that will abort when the
+   gating unit decides to gate them, and
+4. acknowledges the committer *after* the invalidations (bus FIFO
+   ordering then guarantees a committer never completes before a
+   conflicting invalidation has been delivered — see DESIGN.md §5).
+
+Gating integration
+------------------
+A :class:`repro.gating.protocol.GatingUnit` may be attached.  The
+directory notifies it on every abort-causing invalidation it sends
+(step 3) and on every request received from a processor its table marks
+as OFF (the paper's stale-OFF recovery: "if any load/store request
+comes from a processor which is marked as off, directory assumes that
+it has been turned on by some other directory").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..config import DirectoryConfig
+from ..errors import ProtocolError
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+from ..sim.trace import NullTrace
+from .address import AddressMap
+from .bus import Bus
+from .memory import MainMemory
+from .messages import FillReply, FillRequest, FlushDone, FlushRequest, Invalidation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gating.protocol import GatingUnit
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """One directory node of the distributed shared memory system."""
+
+    def __init__(
+        self,
+        dir_id: int,
+        engine: Engine,
+        bus: Bus,
+        memory: MainMemory,
+        config: DirectoryConfig,
+        addr_map: AddressMap,
+        stats: StatsRegistry,
+        trace: NullTrace | None = None,
+    ):
+        self.dir_id = dir_id
+        self._engine = engine
+        self._bus = bus
+        self._memory = memory
+        self._config = config
+        self._addr_map = addr_map
+        self._stats = stats
+        self._trace = trace if trace is not None else NullTrace()
+
+        #: line -> set of processor ids holding (or believed to hold) the line
+        self._sharers: dict[int, set[int]] = {}
+        #: line -> last committer ("Owner" coherence state of Fig. 2b)
+        self._owner: dict[int, int] = {}
+        #: processors with live commit intent here ("Marked" bit, Fig. 2e)
+        self.marked: set[int] = set()
+        #: per-directory watermark of the last TID whose flush completed here
+        self.last_committed_tid = -1
+
+        self._busy_until = 0
+        self._machine = None  # set via attach()
+        self.gating: "GatingUnit | None" = None
+        self._prefix = f"dir{dir_id}"
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, machine, gating: "GatingUnit | None" = None) -> None:
+        """Connect to the machine (processor lookup) and gating unit."""
+        self._machine = machine
+        self.gating = gating
+
+    # ------------------------------------------------------------------
+    # sharer bookkeeping
+    # ------------------------------------------------------------------
+    def sharers_of(self, line: int) -> frozenset[int]:
+        return frozenset(self._sharers.get(line, ()))
+
+    def owner_of(self, line: int) -> int | None:
+        return self._owner.get(line)
+
+    def _check_home(self, lines: Iterable[int]) -> None:
+        for line in lines:
+            if self._addr_map.home_of_line(line) != self.dir_id:
+                raise ProtocolError(
+                    f"line {line} homed at dir "
+                    f"{self._addr_map.home_of_line(line)}, not {self.dir_id}"
+                )
+
+    # ------------------------------------------------------------------
+    # commit-intent marking ("Marked" bits)
+    # ------------------------------------------------------------------
+    def mark_commit(self, proc: int) -> None:
+        """Record commit intent (piggybacked on the commit request)."""
+        self.marked.add(proc)
+
+    def unmark_commit(self, proc: int) -> None:
+        self.marked.discard(proc)
+
+    # ------------------------------------------------------------------
+    # fill path
+    # ------------------------------------------------------------------
+    def receive_fill_request(self, req: FillRequest) -> None:
+        """Bus-arrival handler for a fill after an L1 miss."""
+        self._check_home([req.line])
+        self._note_request_from(req.proc, req.sent_at)
+        self._stats.bump(f"{self._prefix}.fills")
+
+        start = max(self._engine.now, self._busy_until)
+        self._busy_until = start + self._config.latency
+        self._engine.schedule_at(self._busy_until, self._fill_serviced, req)
+
+    def _fill_serviced(self, req: FillRequest) -> None:
+        # Sharer registration happens at service time, before the data
+        # round-trip: any flush applied after this instant invalidates
+        # the requester, closing the fill/flush race.
+        self._sharers.setdefault(req.line, set()).add(req.proc)
+        self._memory.access(self._fill_data_ready, req)
+
+    def _fill_data_ready(self, req: FillRequest) -> None:
+        proc = self._machine.proc(req.proc)
+        reply = FillReply(req.proc, req.line, req.req_id)
+        self._bus.send_data(proc.receive_fill_reply, reply)
+
+    # ------------------------------------------------------------------
+    # commit flush path
+    # ------------------------------------------------------------------
+    def receive_flush_request(self, req: FlushRequest) -> None:
+        """Bus-arrival handler for a commit flush (TID-ordered globally).
+
+        The machine's token vendor releases committers in TID order
+        (the completion barrier standing in for Scalable TCC's skew
+        mechanism), so flush requests reach each directory already
+        ordered; this is asserted as a protocol invariant.
+        """
+        self._check_home(req.lines)
+        self._note_request_from(req.proc, req.sent_at)
+        if req.tid <= self.last_committed_tid:
+            raise ProtocolError(
+                f"dir {self.dir_id}: flush TID {req.tid} not after watermark "
+                f"{self.last_committed_tid} — commit order violated"
+            )
+        self._stats.bump(f"{self._prefix}.flushes")
+        self._stats.bump(f"{self._prefix}.lines_committed", len(req.lines))
+
+        service = self._config.latency + len(req.lines) * self._config.commit_line_cycles
+        start = max(self._engine.now, self._busy_until)
+        self._busy_until = start + service
+        self._engine.schedule_at(self._busy_until, self._flush_complete, req)
+
+    def _flush_complete(self, req: FlushRequest) -> None:
+        now = self._engine.now
+        # 1. apply committed words to functional memory
+        for addr, value in req.writes:
+            self._memory.write_word(addr, value, writer_tid=req.tid)
+        self.last_committed_tid = max(self.last_committed_tid, req.tid)
+
+        # 2. collect victims and re-home sharer bits
+        victims: dict[int, list[int]] = {}
+        for line in req.lines:
+            for sharer in self._sharers.get(line, ()):  # may include stale entries
+                if sharer != req.proc:
+                    victims.setdefault(sharer, []).append(line)
+            self._sharers[line] = {req.proc}
+            self._owner[line] = req.proc
+
+        # 3. gating decisions + one invalidation broadcast per victim.
+        #    The "will this victim abort" probe models the abort ack the
+        #    directory would receive a few cycles later in hardware; it
+        #    only affects when the gating-table entry is created (the
+        #    Stop-Clock command rides with the invalidation either way).
+        stop_clock: set[int] = set()
+        for victim, lines in sorted(victims.items()):
+            will_abort = self._machine.proc(victim).would_abort_on(lines)
+            if will_abort:
+                self._stats.bump(f"{self._prefix}.aborts_caused")
+                self._trace.emit(
+                    now,
+                    "dir.abort",
+                    directory=self.dir_id,
+                    victim=victim,
+                    committer=req.proc,
+                    lines=tuple(lines),
+                )
+                if self.gating is not None:
+                    if self.gating.on_abort(victim, req.proc, req.site):
+                        stop_clock.add(victim)
+
+        for victim, lines in sorted(victims.items()):
+            msg = Invalidation(victim, req.proc, self.dir_id, tuple(lines))
+            gate = victim in stop_clock
+            proc = self._machine.proc(victim)
+            self._bus.send_data(proc.receive_invalidation, msg, gate)
+
+        # 4. acknowledge the committer — after the invalidations, so the
+        #    FIFO bus guarantees delivery order.
+        done = FlushDone(req.proc, req.tid, self.dir_id)
+        self._bus.send_ctrl(self._machine.proc(req.proc).receive_flush_done, done)
+
+    # ------------------------------------------------------------------
+    # stale-OFF recovery hook
+    # ------------------------------------------------------------------
+    def _note_request_from(self, proc: int, sent_at: int) -> None:
+        if self.gating is not None:
+            self.gating.notify_access(proc, sent_at)
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Directory {self.dir_id} lines={len(self._sharers)} "
+            f"marked={sorted(self.marked)}>"
+        )

@@ -1,0 +1,148 @@
+"""Protocol message types.
+
+Messages exist mostly for readability and tracing — delivery itself is a
+scheduled callback over the :class:`~repro.mem.bus.Bus`.  Keeping the
+payloads as small frozen dataclasses makes protocol tests able to assert
+on exact message content, and gives the trace stream stable field names.
+
+The gating-specific messages mirror Section V of the paper verbatim:
+``StopClock`` freezes a victim, ``TurnOn`` is delivered "to the output
+of the main pll", and ``TxInfoReq``/``TxInfoReply`` carry the program-
+counter-like transaction identity used by the renewal check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FillRequest",
+    "FillReply",
+    "FlushRequest",
+    "FlushDone",
+    "Invalidation",
+    "StopClock",
+    "TurnOn",
+    "TxInfoReq",
+    "TxInfoReply",
+]
+
+
+@dataclass(frozen=True)
+class FillRequest:
+    """Processor -> directory: fetch a line after an L1 miss.
+
+    ``sent_at`` is the issue cycle.  The gating protocol's stale-OFF
+    recovery must ignore requests that were already in flight when the
+    sender was gated (they are not evidence the sender is running), so
+    requests carry their issue time.
+
+    ``req_id`` is a per-processor monotonic tag echoed by the reply.
+    It prevents a reply belonging to an *aborted* attempt from
+    satisfying a newer attempt's outstanding miss on the same line —
+    the newer attempt's sharer registration rides with its own request,
+    so accepting old data would decouple the value from conflict
+    tracking (a serializability hole found by the replay checker).
+    """
+
+    proc: int
+    line: int
+    sent_at: int = 0
+    req_id: int = 0
+
+
+@dataclass(frozen=True)
+class FillReply:
+    """Directory -> processor: line data (values read functionally).
+
+    ``req_id`` echoes the request tag (see :class:`FillRequest`).
+    """
+
+    proc: int
+    line: int
+    req_id: int = 0
+
+
+@dataclass(frozen=True)
+class FlushRequest:
+    """Committer -> directory: commit these speculative lines.
+
+    ``writes`` maps word addresses to values for every written word
+    whose line is homed at the target directory.
+    """
+
+    proc: int
+    tid: int
+    lines: tuple[int, ...]
+    writes: tuple[tuple[int, int], ...] = field(repr=False)
+    sent_at: int = 0
+    #: site id (PC) of the committing transaction.  The paper obtains
+    #: this with a TxInfoReq round-trip after gating a victim; carrying
+    #: it in the commit request is an equally hardware-plausible
+    #: simplification that avoids racing against the committer's own
+    #: completion (the renewal-check TxInfoReq of Fig. 2e remains).
+    site: str | None = None
+
+
+@dataclass(frozen=True)
+class FlushDone:
+    """Directory -> committer: your lines are globally visible here."""
+
+    proc: int
+    tid: int
+    directory: int
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """Directory -> sharer: lines just committed by ``committer``.
+
+    Receiving a line that intersects the current speculative read-set
+    aborts the transaction (Section III: "a transaction gets aborted
+    only when a cache line that it has read in its local L1
+    speculatively, gets committed in a directory by some other
+    thread").
+    """
+
+    victim: int
+    committer: int
+    directory: int
+    lines: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StopClock:
+    """Directory -> victim: gate all clocks (rides with the abort)."""
+
+    victim: int
+    directory: int
+
+
+@dataclass(frozen=True)
+class TurnOn:
+    """Directory -> victim: ungate ("on" command to the main PLL)."""
+
+    victim: int
+    directory: int
+
+
+@dataclass(frozen=True)
+class TxInfoReq:
+    """Directory -> (committing) processor: which transaction are you in?"""
+
+    directory: int
+    target: int
+
+
+@dataclass(frozen=True)
+class TxInfoReply:
+    """Processor -> directory: the site id (PC) of the live transaction.
+
+    ``site`` is ``None`` when the target processor is itself clock
+    gated or not inside a transaction — the paper's null reply, which
+    the comparator treats as "turn the victim on".
+    """
+
+    target: int
+    directory: int
+    site: str | None

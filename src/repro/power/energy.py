@@ -1,0 +1,302 @@
+"""Energy accounting: the paper's Eqs. (1)–(7), plus a cross-check.
+
+Two independent formulations are implemented:
+
+**Direct integration** (:func:`direct_energy`) — sum over processors
+and timeline segments of ``duration × P(state)``.  This is the
+"equivalent way to compute the total energy consumption ... to track
+and sum up the individual contribution of each processor in each
+state" that the paper mentions at the end of Section IV.
+
+**Interval formulation** (:func:`interval_breakdown` +
+:func:`energy_from_intervals`) — the paper's Eqs. (1)–(5) literally:
+sweep the global timeline for the intervals :math:`\\Delta_{ik}` during
+which exactly *i* processors sit in low-power states, build
+
+.. math::
+
+    X_i = \\sum_k \\Delta_{ik}, \\qquad
+    \\alpha_i = \\frac{\\sum_k n^i_{mk} \\Delta_{ik}}{i X_i}, \\qquad
+    \\beta_i = \\frac{\\sum_k n^i_{ck} \\Delta_{ik}}{i X_i}
+
+and evaluate Eq. (1) (gated runs; low-power = {gated, miss, commit})
+or Eq. (5) (ungated runs; low-power = {miss, commit}, with
+:math:`\\delta_i = \\alpha_i` and the commit share as the complement).
+
+The two must agree to floating-point tolerance — property-tested over
+random timelines, and asserted by :func:`compute_energy` on every run.
+
+Eq. (6): ``EnergyReduction = Eug / Eg`` — a factor **> 1** means the
+gated run saved energy.  Eq. (7): ``AveragePowerReduction =
+(Eug / Eg) × (N2 / N1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..sim.timeline import StateTimeline
+from .model import PowerModel
+from .states import (
+    LOW_POWER_STATES_GATED,
+    LOW_POWER_STATES_UNGATED,
+    ProcState,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "IntervalBreakdown",
+    "direct_energy",
+    "interval_breakdown",
+    "energy_from_intervals",
+    "compute_energy",
+    "energy_reduction",
+    "average_power_reduction",
+]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run over its parallel window.
+
+    ``total`` is in cycle·P_run units.  ``by_state`` maps each state to
+    (cycles, energy).  ``interval_total`` is the Eq. (1)/(5) evaluation;
+    it must equal ``total``.
+    """
+
+    window: tuple[int, int]
+    num_procs: int
+    gated_run: bool
+    total: float
+    by_state: dict[ProcState, tuple[int, float]]
+    interval_total: float
+
+    @property
+    def parallel_time(self) -> int:
+        return self.window[1] - self.window[0]
+
+    @property
+    def average_power(self) -> float:
+        """Mean power per processor in units of P_run."""
+        denom = self.parallel_time * self.num_procs
+        return self.total / denom if denom else 0.0
+
+    def state_cycles(self, state: ProcState) -> int:
+        return self.by_state.get(state, (0, 0.0))[0]
+
+
+@dataclass(frozen=True)
+class IntervalBreakdown:
+    """The Eq. (2)–(4) quantities.
+
+    Index ``i`` runs from 1 to ``num_procs``; index 0 is unused (the
+    paper's sums start at ``i = 1``).
+    """
+
+    num_procs: int
+    window: tuple[int, int]
+    low_states: frozenset[ProcState]
+    #: X_i — total time with exactly i processors in low-power states
+    x: np.ndarray
+    #: Σ_k n^i_mk Δ_ik — miss-weighted interval time
+    miss_weight: np.ndarray
+    #: Σ_k n^i_ck Δ_ik — commit-weighted interval time
+    commit_weight: np.ndarray
+    #: Σ_k n^i_gk Δ_ik — gated-weighted interval time
+    gate_weight: np.ndarray
+
+    def alpha(self, i: int) -> float:
+        """:math:`\\alpha_i` (or :math:`\\delta_i` for ungated runs)."""
+        if self.x[i] == 0:
+            return 0.0
+        return float(self.miss_weight[i] / (i * self.x[i]))
+
+    def beta(self, i: int) -> float:
+        if self.x[i] == 0:
+            return 0.0
+        return float(self.commit_weight[i] / (i * self.x[i]))
+
+
+def direct_energy(
+    timelines: Sequence[StateTimeline],
+    window: tuple[int, int],
+    model: PowerModel,
+) -> tuple[float, dict[ProcState, tuple[int, float]]]:
+    """Integrate ``P(state)`` over every processor's clipped timeline."""
+    lo, hi = window
+    total = 0.0
+    by_state: dict[ProcState, tuple[int, float]] = {}
+    for timeline in timelines:
+        for seg in timeline.clipped_segments(lo, hi):
+            power = model.power_of(seg.state)
+            energy = seg.duration * power
+            total += energy
+            cycles, acc = by_state.get(seg.state, (0, 0.0))
+            by_state[seg.state] = (cycles + seg.duration, acc + energy)
+    return total, by_state
+
+
+def interval_breakdown(
+    timelines: Sequence[StateTimeline],
+    window: tuple[int, int],
+    low_states: frozenset[ProcState],
+) -> IntervalBreakdown:
+    """Sweep state-change events to build :math:`X_i, \\alpha_i, \\beta_i`.
+
+    One linear pass over the merged change-points: maintain, per
+    processor, whether it currently sits in a low-power state and which
+    kind; every boundary closes an interval :math:`\\Delta` attributed
+    to the current low-power population ``i``.
+    """
+    lo, hi = window
+    p = len(timelines)
+    x = np.zeros(p + 1, dtype=np.int64)
+    miss_w = np.zeros(p + 1, dtype=np.int64)
+    commit_w = np.zeros(p + 1, dtype=np.int64)
+    gate_w = np.zeros(p + 1, dtype=np.int64)
+
+    # Event list: (time, proc, new_state) clipped to the window.
+    events: list[tuple[int, int, ProcState]] = []
+    current: list[ProcState] = []
+    for proc, timeline in enumerate(timelines):
+        current.append(timeline.state_at(lo) if hi > lo else ProcState.RUN)
+        for seg in timeline.clipped_segments(lo, hi):
+            if seg.start > lo:
+                events.append((seg.start, proc, seg.state))
+    events.sort(key=lambda e: e[0])
+
+    def classify(state: ProcState) -> int:
+        # 0 = not low-power, 1 = miss, 2 = commit, 3 = gated
+        if state not in low_states:
+            return 0
+        if state is ProcState.MISS:
+            return 1
+        if state is ProcState.COMMIT:
+            return 2
+        return 3
+
+    kinds = [classify(s) for s in current]
+    n_low = sum(1 for k in kinds if k)
+    n_miss = sum(1 for k in kinds if k == 1)
+    n_commit = sum(1 for k in kinds if k == 2)
+    n_gate = sum(1 for k in kinds if k == 3)
+
+    cursor = lo
+    idx = 0
+    n_events = len(events)
+    while idx <= n_events:
+        boundary = events[idx][0] if idx < n_events else hi
+        if boundary > cursor:
+            delta = boundary - cursor
+            if n_low:
+                x[n_low] += delta
+                miss_w[n_low] += n_miss * delta
+                commit_w[n_low] += n_commit * delta
+                gate_w[n_low] += n_gate * delta
+            cursor = boundary
+        if idx >= n_events:
+            break
+        # apply all events at this boundary
+        while idx < n_events and events[idx][0] == boundary:
+            _, proc, state = events[idx]
+            old = kinds[proc]
+            new = classify(state)
+            if old != new:
+                n_low += (new != 0) - (old != 0)
+                n_miss += (new == 1) - (old == 1)
+                n_commit += (new == 2) - (old == 2)
+                n_gate += (new == 3) - (old == 3)
+                kinds[proc] = new
+            idx += 1
+
+    return IntervalBreakdown(
+        num_procs=p,
+        window=window,
+        low_states=low_states,
+        x=x,
+        miss_weight=miss_w,
+        commit_weight=commit_w,
+        gate_weight=gate_w,
+    )
+
+
+def energy_from_intervals(
+    intervals: IntervalBreakdown,
+    model: PowerModel,
+    gated_run: bool,
+) -> float:
+    """Evaluate Eq. (1) (``gated_run=True``) or Eq. (5) (``False``).
+
+    Using :math:`X_i \\alpha_i i = \\sum_k n^i_{mk} \\Delta_{ik}` the sums
+    reduce to the precomputed weights; the run-mode term is
+    :math:`(N p - \\sum_i X_i i) P_{run}`.
+    """
+    lo, hi = intervals.window
+    n = hi - lo
+    p = intervals.num_procs
+    i_vec = np.arange(p + 1, dtype=np.int64)
+    low_proc_cycles = int(np.dot(intervals.x, i_vec))
+    run_term = (n * p - low_proc_cycles) * model.run
+    miss_term = float(intervals.miss_weight.sum()) * model.miss
+    commit_term = float(intervals.commit_weight.sum()) * model.commit
+    if gated_run:
+        gate_cycles = low_proc_cycles - int(intervals.miss_weight.sum()) - int(
+            intervals.commit_weight.sum()
+        )
+        gate_term = gate_cycles * model.gated
+        return run_term + miss_term + commit_term + gate_term
+    if int(intervals.gate_weight.sum()) != 0:
+        raise SimulationError(
+            "ungated energy (Eq. 5) evaluated on a timeline containing "
+            "gated intervals — use gated_run=True"
+        )
+    # Eq. (5): the non-miss share of Y_i is commit by construction.
+    return run_term + miss_term + commit_term
+
+
+def compute_energy(
+    timelines: Sequence[StateTimeline],
+    window: tuple[int, int],
+    model: PowerModel,
+    gated_run: bool,
+    tolerance: float = 1e-6,
+) -> EnergyBreakdown:
+    """Full accounting for one run, cross-checking both formulations."""
+    low = LOW_POWER_STATES_GATED if gated_run else LOW_POWER_STATES_UNGATED
+    total, by_state = direct_energy(timelines, window, model)
+    intervals = interval_breakdown(timelines, window, low)
+    via_eq = energy_from_intervals(intervals, model, gated_run)
+    if abs(via_eq - total) > tolerance * max(1.0, abs(total)):
+        raise SimulationError(
+            f"energy accounting mismatch: direct={total!r} interval={via_eq!r}"
+        )
+    return EnergyBreakdown(
+        window=window,
+        num_procs=len(timelines),
+        gated_run=gated_run,
+        total=total,
+        by_state=by_state,
+        interval_total=via_eq,
+    )
+
+
+def energy_reduction(ungated: EnergyBreakdown, gated: EnergyBreakdown) -> float:
+    """Eq. (6): :math:`E_{ug} / E_g` (> 1 means the gated run saves)."""
+    if gated.total <= 0:
+        raise SimulationError("gated run consumed no energy")
+    return ungated.total / gated.total
+
+
+def average_power_reduction(
+    ungated: EnergyBreakdown, gated: EnergyBreakdown
+) -> float:
+    """Eq. (7): :math:`(E_{ug}/E_g) \\times (N_2/N_1)`."""
+    n1 = ungated.parallel_time
+    n2 = gated.parallel_time
+    if n1 <= 0:
+        raise SimulationError("ungated run has an empty parallel section")
+    return energy_reduction(ungated, gated) * (n2 / n1)

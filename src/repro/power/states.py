@@ -1,0 +1,48 @@
+"""Processor power states.
+
+The paper's energy accounting (Section IV) distinguishes four
+operating modes, each with a power factor from Table I:
+
+========  ======================================  ============
+State     Meaning                                 Power factor
+========  ======================================  ============
+RUN       executing code / transactions, and      1.00
+          spinning on synchronization locks
+MISS      core stalled waiting for an L1 miss     0.32
+COMMIT    spinning at the commit instruction or   0.44
+          flushing the write-set to directories
+GATED     all clocks gated after an abort         0.20
+========  ======================================  ============
+
+The interval formulations differ between the gated run (Eq. 1 counts
+processors that are "gated or waiting for a cache miss or performing
+commit") and the ungated run (Eq. 5 has no gated term); the two
+low-power state sets below encode exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ProcState", "LOW_POWER_STATES_GATED", "LOW_POWER_STATES_UNGATED"]
+
+
+class ProcState(enum.Enum):
+    """Power-relevant processor activity state."""
+
+    RUN = "run"
+    MISS = "miss"
+    COMMIT = "commit"
+    GATED = "gated"
+
+    def __repr__(self) -> str:
+        return f"ProcState.{self.name}"
+
+
+#: States counted inside :math:`X_i` of Eq. (1).
+LOW_POWER_STATES_GATED = frozenset(
+    {ProcState.MISS, ProcState.COMMIT, ProcState.GATED}
+)
+
+#: States counted inside :math:`Y_i` of Eq. (5).
+LOW_POWER_STATES_UNGATED = frozenset({ProcState.MISS, ProcState.COMMIT})

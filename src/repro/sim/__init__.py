@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate (system S1 in DESIGN.md).
+
+This subpackage is paper-agnostic: it provides the deterministic event
+queue (:mod:`~repro.sim.engine`), per-processor state timelines used by
+the energy model (:mod:`~repro.sim.timeline`), statistic counters
+(:mod:`~repro.sim.stats`), deterministic RNG plumbing
+(:mod:`~repro.sim.rng`) and optional event tracing
+(:mod:`~repro.sim.trace`).
+"""
+
+from .engine import Engine, Event
+from .timeline import StateTimeline, Segment
+from .stats import Counter, Histogram, StatsRegistry
+from .rng import spawn_rngs, derive_seed
+from .trace import TraceRecorder, TraceEvent, NullTrace
+
+__all__ = [
+    "Engine",
+    "Event",
+    "StateTimeline",
+    "Segment",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "spawn_rngs",
+    "derive_seed",
+    "TraceRecorder",
+    "TraceEvent",
+    "NullTrace",
+]

@@ -1,0 +1,164 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar-queue kernel: callbacks are scheduled
+at absolute cycle times and executed in ``(time, sequence)`` order, so
+two events scheduled for the same cycle fire in scheduling order.  This
+total order is what makes whole simulations bit-reproducible — given the
+same seed and configuration, every run produces the identical event
+history (tested in ``tests/test_determinism.py``).
+
+Design notes
+------------
+* Cancellation is *lazy*: :meth:`Event.cancel` flips a flag and the
+  event is discarded when popped.  This keeps ``heapq`` usage O(log n)
+  and avoids the O(n) cost of removing from the middle of a heap.  The
+  abort path of the HTM relies on this (a processor whose in-flight
+  memory operation is aborted simply cancels its completion event).
+* The engine never advances time backwards; scheduling in the past is a
+  :class:`~repro.errors.SimulationError` (it would silently reorder
+  causality).
+* ``run()`` drains the queue.  An optional ``until`` bound and a
+  ``max_events`` safety valve guard against runaway simulations; the
+  HTM layer installs a deadlock watchdog on top (see
+  :mod:`repro.htm.machine`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Engine"]
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Engine.schedule`.
+
+    Instances order by ``(time, seq)`` which gives the deterministic
+    execution order described in the module docstring.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} seq={self.seq} {name}{state}>"
+
+
+class Engine:
+    """The event queue and simulation clock.
+
+    The current simulation time is :attr:`now` (integer cycles).  All
+    model components share one engine instance; none of them keep their
+    own notion of time.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay} at t={self.now})"
+            )
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False when queue is empty."""
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this cycle
+            (the clock is left at the last executed event's time).
+        max_events:
+            Abort with :class:`SimulationError` after this many events —
+            a safety valve against protocol livelock bugs.
+        """
+        executed = 0
+        queue = self._queue
+        while queue:
+            # Peek past cancelled heads without executing them.
+            head = queue[0]
+            if head.cancelled:
+                heapq.heappop(queue)
+                continue
+            if until is not None and head.time > until:
+                return
+            if not self.step():  # pragma: no cover - guarded by `while queue`
+                return
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {executed} events at "
+                    f"t={self.now}; possible livelock"
+                )
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def next_event_time(self) -> int | None:
+        """Time of the earliest live event, or ``None`` if drained."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self.now} pending={self.pending()}>"

@@ -1,0 +1,47 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic choice in the simulator (workload data, access
+patterns) flows from one root seed through ``numpy``'s SeedSequence
+spawning discipline, so:
+
+* the same ``SystemConfig.seed`` reproduces the identical run, and
+* per-thread streams are independent — thread 3's draws do not change
+  when thread 2 draws more (crucial for comparing 4- vs 8-core runs of
+  "the same" workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn_rngs", "root_rng"]
+
+
+def derive_seed(root_seed: int, *context: object) -> int:
+    """Derive a stable 63-bit child seed from a root seed and context.
+
+    The context (workload name, thread id, phase name, ...) is hashed
+    with a simple FNV-1a over its ``repr`` — stable across processes
+    (unlike ``hash()`` which is salted for strings).
+    """
+    acc = 0xCBF29CE484222325
+    for item in (root_seed, *context):
+        for byte in repr(item).encode():
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc & 0x7FFFFFFFFFFFFFFF
+
+
+def root_rng(seed: int) -> np.random.Generator:
+    """The run-level generator."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """``count`` independent generators derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, the documented
+    mechanism for parallel-stream independence.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,130 @@
+"""Lightweight statistics primitives used across the simulator.
+
+``Counter`` and ``Histogram`` are intentionally tiny — the hot path of
+the simulator increments counters millions of times, so they avoid any
+indirection beyond a dict access.  ``StatsRegistry`` groups them under
+dotted names so run results can be serialized/merged uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["Counter", "Histogram", "StatsRegistry"]
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A value histogram with exact moments and power-of-two buckets.
+
+    Stores count/sum/min/max/sum-of-squares exactly plus a log2-bucketed
+    distribution — enough for transaction-latency and gating-window
+    reporting without keeping every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self._sumsq = 0
+        self.buckets: dict[int, int] = {}
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = value.bit_length() if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def record_many(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        m = self.mean
+        return max(0.0, self._sumsq / self.count - m * m)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count} mean={self.mean:.1f} "
+            f"min={self.min} max={self.max})"
+        )
+
+
+class StatsRegistry:
+    """A namespace of counters and histograms keyed by dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Shorthand for ``counter(name).add(amount)``."""
+        self.counter(name).add(amount)
+
+    def get(self, name: str, default: int = 0) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def counters(self) -> dict[str, int]:
+        return {k: c.value for k, c in sorted(self._counters.items())}
+
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten to plain data (for reports / EXPERIMENTS.md tables)."""
+        out: dict[str, object] = dict(self.counters())
+        for name, h in self._histograms.items():
+            out[f"{name}.count"] = h.count
+            out[f"{name}.mean"] = h.mean
+            out[f"{name}.min"] = h.min
+            out[f"{name}.max"] = h.max
+        return out

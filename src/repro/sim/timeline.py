@@ -1,0 +1,199 @@
+"""Per-processor state timelines.
+
+The energy model of the paper (Section IV) is a pure function of *how
+long each processor spent in each power state*.  The simulator therefore
+records, for every processor, the exact sequence of state changes as
+``(cycle, state)`` change-points; the power layer later integrates these
+against Table I power factors (directly, and through the paper's
+interval formulation Eqs. (1)–(5) — both must agree).
+
+States are deliberately kept as plain strings/enums owned by the caller;
+the timeline is a generic change-point recorder so it can be unit- and
+property-tested independently of the HTM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Sequence, TypeVar
+
+from ..errors import SimulationError
+
+__all__ = ["Segment", "StateTimeline"]
+
+S = TypeVar("S", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Segment(Generic[S]):
+    """A maximal interval ``[start, end)`` during which ``state`` held."""
+
+    start: int
+    end: int
+    state: S
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class StateTimeline(Generic[S]):
+    """Records state change-points for one entity (one processor).
+
+    Changes must be recorded in non-decreasing time order.  Recording
+    the same state again is a no-op (segments stay maximal), and several
+    changes at the same cycle collapse to the last one (zero-length
+    segments are dropped at finalisation).
+    """
+
+    def __init__(self, initial_state: S, start: int = 0) -> None:
+        self._times: list[int] = [start]
+        self._states: list[S] = [initial_state]
+        self._finalized_end: int | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def set_state(self, time: int, state: S) -> None:
+        """Record that the entity is in ``state`` from ``time`` onwards."""
+        if self._finalized_end is not None:
+            raise SimulationError("cannot record into a finalized timeline")
+        last_time = self._times[-1]
+        if time < last_time:
+            raise SimulationError(
+                f"timeline updates must be time-ordered ({time} < {last_time})"
+            )
+        if state == self._states[-1]:
+            return
+        if time == last_time:
+            # Same-cycle re-decision: the later state wins.
+            self._states[-1] = state
+            # Collapse with the previous segment if it had the same state.
+            if len(self._states) >= 2 and self._states[-2] == state:
+                self._times.pop()
+                self._states.pop()
+            return
+        self._times.append(time)
+        self._states.append(state)
+
+    @property
+    def current_state(self) -> S:
+        return self._states[-1]
+
+    def finalize(self, end: int) -> None:
+        """Close the timeline at cycle ``end`` (idempotent)."""
+        if self._finalized_end is not None:
+            if self._finalized_end != end:
+                raise SimulationError(
+                    f"timeline already finalized at {self._finalized_end}, "
+                    f"cannot re-finalize at {end}"
+                )
+            return
+        if end < self._times[-1]:
+            raise SimulationError(
+                f"finalize({end}) precedes last change at {self._times[-1]}"
+            )
+        self._finalized_end = end
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized_end is not None
+
+    @property
+    def end(self) -> int:
+        if self._finalized_end is None:
+            raise SimulationError("timeline not finalized")
+        return self._finalized_end
+
+    @property
+    def start(self) -> int:
+        return self._times[0]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def segments(self) -> list[Segment[S]]:
+        """Maximal constant-state segments tiling ``[start, end)``."""
+        end = self.end
+        out: list[Segment[S]] = []
+        for i, (t, s) in enumerate(zip(self._times, self._states)):
+            seg_end = self._times[i + 1] if i + 1 < len(self._times) else end
+            if seg_end > t:
+                out.append(Segment(t, seg_end, s))
+        return out
+
+    def clipped_segments(self, lo: int, hi: int) -> list[Segment[S]]:
+        """Segments intersected with the window ``[lo, hi)``.
+
+        The energy equations are evaluated over the *parallel section*
+        only (first transaction start to last transaction end), so the
+        power layer clips every timeline to that window.
+        """
+        if hi < lo:
+            raise SimulationError(f"invalid clip window [{lo}, {hi})")
+        out: list[Segment[S]] = []
+        for seg in self.segments():
+            start = max(seg.start, lo)
+            end = min(seg.end, hi)
+            if end > start:
+                out.append(Segment(start, end, seg.state))
+        return out
+
+    def state_at(self, time: int) -> S:
+        """State in effect at cycle ``time`` (segments are [start, end))."""
+        if time < self._times[0]:
+            raise SimulationError(f"t={time} precedes timeline start")
+        # Binary search over change-points.
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self._states[lo]
+
+    def durations(self, lo: int | None = None, hi: int | None = None) -> dict[S, int]:
+        """Total cycles per state, optionally restricted to ``[lo, hi)``."""
+        if lo is None:
+            lo = self.start
+        if hi is None:
+            hi = self.end
+        totals: dict[S, int] = {}
+        for seg in self.clipped_segments(lo, hi):
+            totals[seg.state] = totals.get(seg.state, 0) + seg.duration
+        return totals
+
+    def change_points(self) -> Iterator[tuple[int, S]]:
+        """Iterate raw ``(time, state)`` change-points (for interval sweeps)."""
+        return iter(zip(self._times, self._states))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+def verify_tiling(timelines: Sequence[StateTimeline], lo: int, hi: int) -> None:
+    """Assert that every timeline fully tiles ``[lo, hi)`` without gaps.
+
+    Invariant 6 of DESIGN.md.  Called by the harness after each run when
+    self-checks are enabled; also exercised directly by tests.
+    """
+    for idx, tl in enumerate(timelines):
+        segs = tl.clipped_segments(lo, hi)
+        if hi == lo:
+            continue
+        if not segs:
+            raise SimulationError(f"timeline {idx} empty over [{lo}, {hi})")
+        if segs[0].start != lo or segs[-1].end != hi:
+            raise SimulationError(
+                f"timeline {idx} does not cover [{lo}, {hi}): "
+                f"covers [{segs[0].start}, {segs[-1].end})"
+            )
+        for a, b in zip(segs, segs[1:]):
+            if a.end != b.start:
+                raise SimulationError(
+                    f"timeline {idx} has a gap/overlap at [{a.end}, {b.start})"
+                )
+
+
+__all__.append("verify_tiling")

@@ -1,0 +1,44 @@
+"""Workloads (system S9 in DESIGN.md): STAMP-equivalent kernels.
+
+The paper evaluates three STAMP applications — genome, yada and
+intruder — compiled for Alpha and run under M5.  Neither the binaries
+nor an Alpha toolchain is available here, so this package implements
+*synthetic equivalents*: transactional kernels, built on real shared
+data structures over the simulated memory, that reproduce each
+application's contention character (see each module's docstring for the
+mapping and DESIGN.md §2 for the substitution argument):
+
+* :mod:`~repro.workloads.genome`   — hash-set dedup + segment matching;
+  moderate conflicts, medium transactions.
+* :mod:`~repro.workloads.yada`     — cavity-expansion mesh refinement;
+  long transactions, conflicts repeated inside loops (the renew-counter
+  driver the paper calls out for yada/genome).
+* :mod:`~repro.workloads.intruder` — shared packet queue + flow
+  reassembly; short transactions, high abort rate.
+* :mod:`~repro.workloads.micro`    — counter / bank / array / list
+  microbenchmarks for tests and ablations.
+"""
+
+from .base import MemoryLayout, WorkloadInstance, Scale, SCALES
+from .registry import available_workloads, build_workload, register_workload
+from .genome import build_genome
+from .intruder import build_intruder
+from .yada import build_yada
+from .micro import build_counter, build_bank, build_array_walk, build_llist
+
+__all__ = [
+    "MemoryLayout",
+    "WorkloadInstance",
+    "Scale",
+    "SCALES",
+    "available_workloads",
+    "build_workload",
+    "register_workload",
+    "build_genome",
+    "build_intruder",
+    "build_yada",
+    "build_counter",
+    "build_bank",
+    "build_array_walk",
+    "build_llist",
+]

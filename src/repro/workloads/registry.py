@@ -1,0 +1,65 @@
+"""Name-based workload construction.
+
+The harness and benchmarks refer to workloads by name; the registry
+maps names to builder functions.  Builders accept
+``(num_threads, scale, seed, **overrides)`` and return a
+:class:`~repro.workloads.base.WorkloadInstance`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import WorkloadError
+from .base import WorkloadInstance
+from .genome import build_genome
+from .intruder import build_intruder
+from .micro import build_array_walk, build_bank, build_counter, build_llist
+from .yada import build_yada
+
+__all__ = ["available_workloads", "build_workload", "register_workload"]
+
+Builder = Callable[..., WorkloadInstance]
+
+_BUILDERS: dict[str, Builder] = {
+    "genome": build_genome,
+    "yada": build_yada,
+    "intruder": build_intruder,
+    "counter": build_counter,
+    "bank": build_bank,
+    "array_walk": build_array_walk,
+    "llist": build_llist,
+}
+
+#: the paper's evaluation applications, in its presentation order
+PAPER_APPS: tuple[str, ...] = ("genome", "yada", "intruder")
+__all__.append("PAPER_APPS")
+
+
+def available_workloads() -> list[str]:
+    return sorted(_BUILDERS)
+
+
+def register_workload(name: str, builder: Builder) -> None:
+    """Add a custom workload (overwrites allowed)."""
+    if not name:
+        raise WorkloadError("workload name must be non-empty")
+    _BUILDERS[name] = builder
+
+
+def build_workload(
+    name: str,
+    num_threads: int,
+    scale: str = "small",
+    seed: int = 0,
+    **overrides,
+) -> WorkloadInstance:
+    """Build the named workload."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(available_workloads())}"
+        ) from None
+    return builder(num_threads, scale=scale, seed=seed, **overrides)

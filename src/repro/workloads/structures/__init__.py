@@ -1,0 +1,23 @@
+"""Transactional data structures over simulated shared memory.
+
+Each structure's operations are *generator methods* designed for use
+inside transaction bodies with ``yield from``::
+
+    def body(tx):
+        existing = yield from table.lookup(key)
+        if existing is None:
+            yield from table.insert(key, value)
+
+Every shared access goes through :class:`~repro.htm.ops.Load` /
+:class:`~repro.htm.ops.Store`, so conflicts between threads arise from
+the data structures themselves — the same way STAMP's contention arises
+from its hashtables, meshes and queues — rather than from synthetic
+abort injection.
+"""
+
+from .hashtable import THashTable
+from .queue import TQueue
+from .linkedlist import TSortedList, TNodePool
+from .array import TArray
+
+__all__ = ["THashTable", "TQueue", "TSortedList", "TNodePool", "TArray"]

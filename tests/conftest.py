@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BusConfig,
+    CacheConfig,
+    CommitConfig,
+    DirectoryConfig,
+    GatingConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 4-core Table II system with gating enabled."""
+    return SystemConfig(num_procs=4, seed=7)
+
+
+@pytest.fixture
+def ungated_config() -> SystemConfig:
+    return SystemConfig(num_procs=4, seed=7).with_gating(False)
+
+
+@pytest.fixture
+def fast_memory_config() -> SystemConfig:
+    """Low-latency variant for protocol tests that count exact cycles."""
+    return SystemConfig(
+        num_procs=2,
+        seed=1,
+        bus=BusConfig(occupancy=1, data_occupancy=1, wire_latency=1),
+        directory=DirectoryConfig(latency=2, commit_line_cycles=1),
+        memory=MemoryConfig(latency=5, port_occupancy=1),
+        commit=CommitConfig(token_vendor_latency=1, abort_drain_cycles=1),
+        gating=GatingConfig(enabled=False),
+    )

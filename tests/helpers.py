@@ -1,0 +1,50 @@
+"""Test utilities: a functional interpreter for op generators, and
+program-building shorthand.
+
+``run_functional`` executes a structure-method generator (the kind used
+inside transaction bodies) directly against a plain ``dict`` memory —
+no simulator, no timing — so data-structure logic can be unit-tested in
+isolation from the HTM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.htm.ops import Compute, Load, Store
+
+
+def run_functional(gen: Generator, memory: dict[int, int]) -> Any:
+    """Execute a Load/Store/Compute generator against ``memory``."""
+    try:
+        op = next(gen)
+        while True:
+            if isinstance(op, Load):
+                op = gen.send(memory.get(op.addr, 0))
+            elif isinstance(op, Store):
+                memory[op.addr] = op.value
+                op = gen.send(None)
+            elif isinstance(op, Compute):
+                op = gen.send(None)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unexpected op {op!r}")
+    except StopIteration as stop:
+        return stop.value
+
+
+def collect_ops(gen: Generator, memory: dict[int, int]) -> list:
+    """Like :func:`run_functional` but records the op sequence."""
+    ops = []
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            if isinstance(op, Load):
+                op = gen.send(memory.get(op.addr, 0))
+            elif isinstance(op, Store):
+                memory[op.addr] = op.value
+                op = gen.send(None)
+            else:
+                op = gen.send(None)
+    except StopIteration:
+        return ops

@@ -1,0 +1,93 @@
+"""CLI surface: every subcommand runs and prints what it promises."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "intruder" in out
+        assert "gating-aware" in out
+        assert "momentum" in out
+
+    def test_run(self, capsys):
+        out = run_cli(
+            capsys, "run", "counter", "--scale", "tiny", "--procs", "2",
+            "--seed", "3",
+        )
+        assert "Run report — counter" in out
+        assert "gating:" in out
+
+    def test_run_ungated_with_serial_check(self, capsys):
+        out = run_cli(
+            capsys, "run", "counter", "--scale", "tiny", "--procs", "2",
+            "--no-gating", "--check-serial",
+        )
+        assert "ungated" in out
+        assert "serializability: OK" in out
+
+    def test_run_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "timelines.csv"
+        out = run_cli(
+            capsys, "run", "counter", "--scale", "tiny", "--procs", "2",
+            "--csv-timelines", str(path),
+        )
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header == "proc,start,end,state"
+        assert str(path) in out
+
+    def test_compare(self, capsys):
+        out = run_cli(
+            capsys, "compare", "counter", "--scale", "tiny", "--procs", "2",
+        )
+        assert "Eq. 6" in out
+        assert "speed-up" in out
+
+    def test_evaluate_tiny(self, capsys):
+        out = run_cli(
+            capsys, "evaluate", "--scale", "tiny", "--grid", "2",
+            "--seed", "4",
+        )
+        assert "Fig. 4" in out and "Fig. 5" in out and "Fig. 6" in out
+        assert "averages over 3 points" in out
+
+    def test_sweep(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "counter", "--scale", "tiny", "--procs", "2",
+            "--w0-values", "4", "16",
+        )
+        assert "Fig. 7" in out
+        assert "16" in out
+
+    def test_cache_power(self, capsys):
+        out = run_cli(capsys, "cache-power")
+        assert "Fig. 3" in out
+        assert "105.000" in out
+
+    def test_momentum_cm_via_cli(self, capsys):
+        out = run_cli(
+            capsys, "run", "counter", "--scale", "tiny", "--procs", "2",
+            "--cm", "momentum",
+        )
+        assert "Run report" in out

@@ -1,0 +1,162 @@
+"""Contention managers: Eq. (8) staircase and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cm.backoff import (
+    ExponentialBackoffCM,
+    ImmediateCM,
+    LinearBackoffCM,
+    PoliteBackoffCM,
+)
+from repro.cm.base import ContentionManager
+from repro.cm.gating_aware import GatingAwareCM, staircase_term
+from repro.cm.registry import available_cms, create_cm, register_cm
+from repro.config import GatingConfig
+from repro.errors import ConfigError
+
+
+class TestStaircase:
+    def test_known_values(self):
+        # 2^ceil(lg n): 0,1 -> 1; 2 -> 2; 3,4 -> 4; 5..8 -> 8; 9..16 -> 16
+        expected = {0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 16: 16, 17: 32}
+        for count, value in expected.items():
+            assert staircase_term(count) == value, count
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            staircase_term(-1)
+
+    @given(st.integers(0, 10_000))
+    def test_power_of_two_and_bounds(self, n):
+        term = staircase_term(n)
+        assert term & (term - 1) == 0  # power of two
+        assert term >= max(1, n)       # ceil property
+        if n > 1:
+            assert term < 2 * n        # tightness of the ceiling
+
+    @given(st.integers(0, 5_000), st.integers(0, 5_000))
+    def test_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert staircase_term(lo) <= staircase_term(hi)
+
+    def test_jumps_exactly_at_powers_of_two(self):
+        """Invariant 7: discontinuities at exponentially spaced counts."""
+        jumps = [
+            n
+            for n in range(1, 1025)
+            if staircase_term(n) != staircase_term(n - 1)
+        ]
+        assert jumps == [2, 3, 5, 9, 17, 33, 65, 129, 257, 513]
+
+
+class TestGatingAwareCM:
+    def test_eq8_first_abort(self):
+        cm = GatingAwareCM(w0=8)
+        # Wt = W0 (2^ceil(lg 1) + 2^ceil(lg 0)) = 8 * (1 + 1)
+        assert cm.gating_window(1, 0) == 16
+
+    def test_eq8_growth(self):
+        cm = GatingAwareCM(w0=8)
+        assert cm.gating_window(2, 0) == 8 * (2 + 1)
+        assert cm.gating_window(3, 0) == 8 * (4 + 1)
+        assert cm.gating_window(1, 2) == 8 * (1 + 2)
+        assert cm.gating_window(4, 4) == 8 * (4 + 4)
+
+    def test_w0_scales_linearly(self):
+        assert GatingAwareCM(w0=32).gating_window(1, 0) == 64
+
+    def test_retry_delay_is_zero(self):
+        """The paper's ungated baseline retries immediately."""
+        assert GatingAwareCM().retry_delay(0, 5) == 0
+
+    def test_rejects_zero_abort_count(self):
+        with pytest.raises(ConfigError):
+            GatingAwareCM().gating_window(0, 0)
+
+    def test_rejects_bad_w0(self):
+        with pytest.raises(ConfigError):
+            GatingAwareCM(w0=0)
+
+    @given(st.integers(1, 255), st.integers(0, 255))
+    def test_window_monotone_in_counts(self, na, nr):
+        cm = GatingAwareCM(w0=8)
+        w = cm.gating_window(na, nr)
+        assert cm.gating_window(na + 1, nr) >= w
+        assert cm.gating_window(na, nr + 1) >= w
+        assert w >= 2 * cm.w0
+
+
+class TestBaselines:
+    def test_immediate(self):
+        cm = ImmediateCM(w0=8)
+        assert cm.retry_delay(0, 10) == 0
+        assert cm.gating_window(3, 1) == 8
+
+    def test_linear(self):
+        cm = LinearBackoffCM(step=10, cap=35)
+        assert cm.retry_delay(0, 1) == 10
+        assert cm.retry_delay(0, 3) == 30
+        assert cm.retry_delay(0, 10) == 35  # capped
+
+    def test_exponential(self):
+        cm = ExponentialBackoffCM(base=4, cap=100)
+        assert cm.retry_delay(0, 1) == 4
+        assert cm.retry_delay(0, 2) == 8
+        assert cm.retry_delay(0, 4) == 32
+        assert cm.retry_delay(0, 20) == 100  # capped
+        assert cm.retry_delay(0, 0) == 0
+
+    def test_polite_jitter_deterministic_and_bounded(self):
+        cm = PoliteBackoffCM(base=8, cap=10_000, seed=3)
+        d1 = cm.retry_delay(1, 4)
+        d2 = cm.retry_delay(1, 4)
+        assert d1 == d2  # reproducible
+        nominal = ExponentialBackoffCM(base=8, cap=10_000).retry_delay(1, 4)
+        assert nominal // 2 <= d1 <= nominal
+
+    def test_polite_decorrelates_processors(self):
+        cm = PoliteBackoffCM(base=8, cap=10_000, seed=3)
+        delays = {cm.retry_delay(p, 6) for p in range(16)}
+        assert len(delays) > 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinearBackoffCM(step=0)
+        with pytest.raises(ConfigError):
+            ExponentialBackoffCM(base=10, cap=5)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_cms():
+            cm = create_cm(GatingConfig(contention_manager=name))
+            assert isinstance(cm, ContentionManager)
+
+    def test_gating_aware_gets_w0(self):
+        cm = create_cm(GatingConfig(w0=32))
+        assert isinstance(cm, GatingAwareCM)
+        assert cm.w0 == 32
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown contention manager"):
+            create_cm(GatingConfig(contention_manager="nope"))
+
+    def test_register_custom(self):
+        class MyCM(GatingAwareCM):
+            name = "custom-test"
+
+        register_cm("custom-test", lambda g, seed: MyCM(w0=g.w0))
+        cm = create_cm(GatingConfig(contention_manager="custom-test"))
+        assert isinstance(cm, MyCM)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            register_cm("", lambda g, s: ImmediateCM())
+
+    def test_factory_type_checked(self):
+        register_cm("broken-test", lambda g, s: object())  # type: ignore[arg-type]
+        with pytest.raises(ConfigError, match="not a ContentionManager"):
+            create_cm(GatingConfig(contention_manager="broken-test"))

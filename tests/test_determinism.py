@@ -1,0 +1,58 @@
+"""Invariant 10: bit-reproducibility of whole simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_workload, workload
+from repro.workloads.registry import available_workloads
+
+
+def fingerprint(result) -> tuple:
+    """Everything observable about a run, hashed into a comparable value."""
+    return (
+        result.parallel_time,
+        result.end_cycle,
+        result.energy.total,
+        tuple(sorted(result.counters.items())),
+        tuple(sorted(result.machine_result.memory_snapshot.items())),
+    )
+
+
+@pytest.mark.parametrize("name", ["counter", "intruder", "yada"])
+@pytest.mark.parametrize("gating", [False, True], ids=["ungated", "gated"])
+def test_same_seed_same_run(name, gating):
+    config = SystemConfig(num_procs=4, seed=123).with_gating(gating)
+    spec = workload(name, scale="tiny", seed=123)
+    a = run_workload(spec, config)
+    b = run_workload(spec, config)
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_different_seed_different_schedule():
+    results = []
+    for seed in (1, 2):
+        config = SystemConfig(num_procs=4, seed=seed)
+        results.append(
+            run_workload(workload("intruder", scale="tiny", seed=seed), config)
+        )
+    assert fingerprint(results[0]) != fingerprint(results[1])
+
+
+def test_timelines_reproduce_exactly():
+    config = SystemConfig(num_procs=4, seed=77)
+    spec = workload("counter", scale="tiny", seed=77)
+    a = run_workload(spec, config)
+    b = run_workload(spec, config)
+    for tl_a, tl_b in zip(a.machine_result.timelines, b.machine_result.timelines):
+        assert tl_a.segments() == tl_b.segments()
+
+
+def test_all_workloads_reproducible_quick():
+    for name in available_workloads():
+        config = SystemConfig(num_procs=2, seed=5)
+        spec = workload(name, scale="tiny", seed=5)
+        assert fingerprint(run_workload(spec, config)) == fingerprint(
+            run_workload(spec, config)
+        ), name

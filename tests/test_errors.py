@@ -1,0 +1,29 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_config_error_is_value_error():
+    assert issubclass(errors.ConfigError, ValueError)
+
+
+def test_simulation_errors_are_runtime_errors():
+    assert issubclass(errors.SimulationError, RuntimeError)
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.ProtocolError, errors.SimulationError)
+    assert issubclass(errors.CacheOverflowError, errors.SimulationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("stuck")

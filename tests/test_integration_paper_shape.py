@@ -1,0 +1,112 @@
+"""Paper-shape integration tests.
+
+These assert the *qualitative* claims of the evaluation section on
+small-but-real runs — who wins, in which direction — without pinning
+absolute numbers (our substrate is a simulator, not the authors'
+modified M5).  The full quantitative sweep lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.compare import compare_gating
+from repro.harness.runner import run_workload, workload
+from repro.power.states import ProcState
+
+pytestmark = pytest.mark.integration
+
+
+class TestHighContentionSavings:
+    """'For highly-conflicting application like intruder, abort rate is
+    high and as a result savings in the energy is also reasonable.'"""
+
+    @pytest.fixture(scope="class")
+    def intruder16(self):
+        return compare_gating(
+            workload("intruder", scale="small", seed=1),
+            SystemConfig(num_procs=16, seed=1),
+        )
+
+    def test_abort_rate_is_high(self, intruder16):
+        assert intruder16.ungated.abort_rate > 0.5
+
+    def test_energy_savings_substantial(self, intruder16):
+        assert intruder16.energy_reduction > 1.15
+
+    def test_gating_reduces_wasted_work(self, intruder16):
+        assert intruder16.gated.aborts < intruder16.ungated.aborts
+
+    def test_gated_state_time_is_significant(self, intruder16):
+        gated_cycles = sum(
+            tl.durations().get(ProcState.GATED, 0)
+            for tl in intruder16.gated.machine_result.timelines
+        )
+        total = (
+            intruder16.gated.parallel_time * intruder16.gated.config.num_procs
+        )
+        assert gated_cycles / total > 0.05
+
+    def test_renewals_happen(self, intruder16):
+        """Short same-site transactions in a loop renew their windows."""
+        assert intruder16.gated.counters.get("gating.renewals", 0) > 0
+
+
+class TestModerateContention:
+    """genome/yada: moderate conflicts; effects small, direction varies
+    (the paper itself reports one slowdown case)."""
+
+    def test_genome_effects_are_modest(self):
+        comparison = compare_gating(
+            workload("genome", scale="small", seed=1),
+            SystemConfig(num_procs=8, seed=1),
+        )
+        assert 0.9 < comparison.speedup < 1.1
+        assert 0.85 < comparison.energy_reduction < 1.2
+
+    def test_yada_saves_energy_at_low_counts(self):
+        comparison = compare_gating(
+            workload("yada", scale="small", seed=1),
+            SystemConfig(num_procs=4, seed=1),
+        )
+        assert comparison.energy_reduction > 1.0
+
+
+class TestEquationRelationships:
+    """Eq. (7) couples Figs. 4–6: power = energy × (N2/N1)."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_gating(
+            workload("counter", scale="small", seed=2),
+            SystemConfig(num_procs=8, seed=2),
+        )
+
+    def test_power_vs_energy_relation(self, comparison):
+        assert comparison.power_reduction == pytest.approx(
+            comparison.energy_reduction * comparison.n2 / comparison.n1
+        )
+
+    def test_energy_reduction_exceeds_power_reduction_when_faster(self, comparison):
+        if comparison.speedup > 1:
+            assert comparison.energy_reduction > comparison.power_reduction
+
+
+class TestGatingCorrectnessUnderLoad:
+    def test_serializability_at_scale(self):
+        """The strongest end-to-end check at a meaningful size."""
+        result = run_workload(
+            workload("intruder", scale="small", seed=3),
+            SystemConfig(num_procs=8, seed=3),
+            check_serial=True,
+        )
+        assert result.commits > 500
+
+    def test_wakeups_match_gates_at_scale(self):
+        result = run_workload(
+            workload("intruder", scale="small", seed=3),
+            SystemConfig(num_procs=8, seed=3),
+        )
+        c = result.counters
+        assert c["gating.wakeups"] == c["gating.gated"]

@@ -1,0 +1,105 @@
+"""Address arithmetic and directory homing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.mem.address import WORD_BYTES, AddressMap
+
+
+def make_map(num_dirs=4, line_bytes=64, memory=1 << 20) -> AddressMap:
+    return AddressMap(line_bytes=line_bytes, num_dirs=num_dirs, memory_bytes=memory)
+
+
+class TestValidation:
+    def test_rejects_unaligned(self):
+        amap = make_map()
+        with pytest.raises(MemoryModelError):
+            amap.check_word_addr(3)
+
+    def test_rejects_out_of_range(self):
+        amap = make_map(memory=1024)
+        with pytest.raises(MemoryModelError):
+            amap.check_word_addr(1024)
+        with pytest.raises(MemoryModelError):
+            amap.check_word_addr(-8)
+
+    def test_accepts_last_word(self):
+        amap = make_map(memory=1024)
+        assert amap.check_word_addr(1016) == 1016
+
+    def test_bad_geometry(self):
+        with pytest.raises(MemoryModelError):
+            AddressMap(line_bytes=60, num_dirs=4, memory_bytes=1 << 20)
+        with pytest.raises(MemoryModelError):
+            AddressMap(line_bytes=64, num_dirs=0, memory_bytes=1 << 20)
+        with pytest.raises(MemoryModelError):
+            AddressMap(line_bytes=64, num_dirs=4, memory_bytes=32)
+
+
+class TestLineMath:
+    def test_line_of(self):
+        amap = make_map()
+        assert amap.line_of(0) == 0
+        assert amap.line_of(63) == 0
+        assert amap.line_of(64) == 1
+        assert amap.line_of(6400) == 100
+
+    def test_line_base_roundtrip(self):
+        amap = make_map()
+        assert amap.line_base(5) == 320
+        assert amap.line_of(amap.line_base(5)) == 5
+
+    def test_words_of_line(self):
+        amap = make_map()
+        words = list(amap.words_of_line(2))
+        assert len(words) == 8
+        assert words[0] == 128
+        assert words[-1] == 128 + 56
+        assert amap.words_per_line == 8
+
+
+class TestHoming:
+    def test_interleaving(self):
+        amap = make_map(num_dirs=4)
+        assert [amap.home_of_line(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_home_of_addr(self):
+        amap = make_map(num_dirs=4)
+        assert amap.home_of_addr(64 * 5) == 1
+
+    def test_lines_by_home_groups_and_sorts(self):
+        amap = make_map(num_dirs=2)
+        grouped = amap.lines_by_home([5, 2, 4, 3, 2])
+        assert grouped == {0: [2, 4], 1: [3, 5]}
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 20) - WORD_BYTES).map(
+        lambda a: a - a % WORD_BYTES
+    ),
+    num_dirs=st.integers(min_value=1, max_value=32),
+)
+def test_every_word_has_exactly_one_home(addr, num_dirs):
+    amap = make_map(num_dirs=num_dirs)
+    line = amap.line_of(addr)
+    home = amap.home_of_line(line)
+    assert 0 <= home < num_dirs
+    assert amap.home_of_addr(addr) == home
+    # all words of the line share the home
+    for word in amap.words_of_line(line):
+        assert amap.home_of_addr(word) == home
+
+
+@given(st.lists(st.integers(0, 10_000), max_size=60), st.integers(1, 16))
+def test_lines_by_home_is_a_partition(lines, num_dirs):
+    amap = make_map(num_dirs=num_dirs)
+    grouped = amap.lines_by_home(lines)
+    flattened = [line for group in grouped.values() for line in group]
+    assert sorted(flattened) == sorted(set(lines))
+    for home, group in grouped.items():
+        assert group == sorted(group)
+        for line in group:
+            assert amap.home_of_line(line) == home

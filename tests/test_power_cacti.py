@@ -1,0 +1,90 @@
+"""Mini-CACTI model (Fig. 3) contracts and calibration anchors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.power.cacti import (
+    CactiCacheModel,
+    FIG3_CACHE_SIZES_KB,
+    FIG3_GRANULARITIES,
+    tcc_cache_power_curve,
+    tcc_total_power_factor,
+)
+
+
+class TestCalibration:
+    def test_paper_anchor_64kb_2byte(self):
+        """'For a 64KB cache with word level (2B) state tracking the
+        power increase is limited to 5%.'"""
+        model = CactiCacheModel()
+        assert model.relative_power(64, 2) == pytest.approx(105.0, abs=0.01)
+
+    def test_line_granularity_is_nearly_free(self):
+        model = CactiCacheModel()
+        assert model.relative_power(64, 64) < 101.0
+
+    def test_byte_granularity_is_considerable(self):
+        model = CactiCacheModel()
+        assert model.relative_power(64, 1) > 108.0
+
+    def test_total_tcc_factor_is_about_1_5(self):
+        """'the power of the entire data cache that supports TCC is,
+        conservatively, 1.5 times that of the normal data cache'"""
+        assert tcc_total_power_factor() == pytest.approx(1.5, abs=0.06)
+
+
+class TestShape:
+    def test_monotone_in_granularity(self):
+        model = CactiCacheModel()
+        for size in FIG3_CACHE_SIZES_KB:
+            values = [model.relative_power(size, g) for g in FIG3_GRANULARITIES]
+            # FIG3_GRANULARITIES is coarse -> fine, so power must rise
+            assert values == sorted(values)
+
+    def test_all_above_baseline(self):
+        model = CactiCacheModel()
+        for size in FIG3_CACHE_SIZES_KB:
+            for g in FIG3_GRANULARITIES:
+                assert model.relative_power(size, g) >= 100.0
+
+    def test_curve_format(self):
+        curve = tcc_cache_power_curve(64)
+        assert [g for g, _ in curve] == list(FIG3_GRANULARITIES)
+        assert all(isinstance(v, float) for _, v in curve)
+
+    @given(st.sampled_from([16, 32, 64, 128, 256]), st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_bounded_overhead(self, size_kb, granularity):
+        model = CactiCacheModel()
+        value = model.relative_power(size_kb, granularity)
+        assert 100.0 <= value <= 200.0
+
+
+class TestGeometry:
+    def test_rw_bits(self):
+        model = CactiCacheModel()
+        assert model.rw_bits(64) == 2       # one R + one W for the line
+        assert model.rw_bits(2) == 64       # word-level tracking
+        assert model.rw_bits(1) == 128
+
+    def test_rw_bits_bounds(self):
+        model = CactiCacheModel()
+        with pytest.raises(ConfigError):
+            model.rw_bits(0)
+        with pytest.raises(ConfigError):
+            model.rw_bits(128)
+
+    def test_tag_bits_shrink_with_size(self):
+        model = CactiCacheModel()
+        assert model.tag_bits(16) > model.tag_bits(128)
+
+    def test_num_sets(self):
+        model = CactiCacheModel()
+        assert model.num_sets(64) == 512  # Table II geometry
+
+    def test_fifo_contribution_scales_with_depth(self):
+        small = tcc_total_power_factor(fifo_depth=256)
+        large = tcc_total_power_factor(fifo_depth=2048)
+        assert large > small

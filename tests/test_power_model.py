@@ -1,0 +1,82 @@
+"""Table I derivation and power-model contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.model import PowerModel, PowerModelParams
+from repro.power.states import (
+    LOW_POWER_STATES_GATED,
+    LOW_POWER_STATES_UNGATED,
+    ProcState,
+)
+
+
+class TestDerivation:
+    def test_table1_values(self):
+        """Section VII: commit = 0.2 + 0.8(0.15+0.05+0.10) = 0.44;
+        miss = 0.2 + 0.8·0.5·(0.30) = 0.32; gated = leakage = 0.20."""
+        model = PowerModel.derive()
+        assert model.run == 1.0
+        assert model.commit == pytest.approx(0.44)
+        assert model.miss == pytest.approx(0.32)
+        assert model.gated == pytest.approx(0.20)
+
+    def test_tcc_dcache_fraction(self):
+        params = PowerModelParams()
+        # "the TCC data cache consumes 1.5 * 10 = 15% of the total power"
+        assert params.tcc_dcache_fraction == pytest.approx(0.15)
+        assert params.active_during_stall == pytest.approx(0.30)
+
+    def test_custom_leakage(self):
+        model = PowerModel.derive(PowerModelParams(leakage_fraction=0.3))
+        assert model.gated == pytest.approx(0.3)
+        assert model.commit == pytest.approx(0.3 + 0.7 * 0.30)
+
+    def test_table1_rows(self):
+        rows = PowerModel.derive().table1_rows()
+        assert rows == [
+            ("Run", 1.0),
+            ("Cache Miss", 0.32),
+            ("Transaction Commit", 0.44),
+            ("Clock Gated", 0.20),
+        ]
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigError):
+            PowerModelParams(leakage_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PowerModelParams(tcc_dcache_factor=0.9)
+
+
+class TestPowerModel:
+    def test_power_of_each_state(self):
+        model = PowerModel.derive()
+        assert model.power_of(ProcState.RUN) == 1.0
+        assert model.power_of(ProcState.MISS) == pytest.approx(0.32)
+        assert model.power_of(ProcState.COMMIT) == pytest.approx(0.44)
+        assert model.power_of(ProcState.GATED) == pytest.approx(0.20)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            PowerModel(run=1.0, miss=0.5, commit=0.4, gated=0.2)
+        with pytest.raises(ConfigError):
+            PowerModel(run=1.0, miss=0.3, commit=0.4, gated=0.35)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerModel(run=1.0, miss=-0.1, commit=0.4, gated=-0.2)
+
+
+class TestLowPowerSets:
+    def test_gated_set(self):
+        assert LOW_POWER_STATES_GATED == {
+            ProcState.MISS,
+            ProcState.COMMIT,
+            ProcState.GATED,
+        }
+
+    def test_ungated_set(self):
+        assert LOW_POWER_STATES_UNGATED == {ProcState.MISS, ProcState.COMMIT}
+        assert ProcState.GATED not in LOW_POWER_STATES_UNGATED
