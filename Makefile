@@ -1,0 +1,19 @@
+# Developer entry points.  `make smoke` is the PR gate: tier-1 tests
+# plus one cached parallel sweep end-to-end (see scripts/smoke.sh).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench-exec clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke: test
+	bash scripts/smoke.sh
+
+bench-exec:
+	$(PYTHON) benchmarks/bench_exec_scaling.py
+
+clean-cache:
+	rm -rf .repro-cache .smoke-cache

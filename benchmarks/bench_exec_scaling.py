@@ -1,0 +1,95 @@
+"""repro.exec scaling — serial vs N-worker wall clock on a fixed grid.
+
+Times the same job batch (2 workloads × 2 processor counts × two gating
+modes, 8 independent simulations) through the serial backend and
+through process pools of increasing width, and prints the measured
+wall-clock and speed-up per width.  Also asserts the executor's core
+contract on the full grid: every backend returns bit-identical numbers
+in submission order.
+
+Run via pytest (``pytest benchmarks/bench_exec_scaling.py -s``) or
+directly (``PYTHONPATH=src python benchmarks/bench_exec_scaling.py``).
+
+On a single-CPU host the pool cannot beat the serial backend (expect
+speed-up ~1.0 minus fork overhead); the bit-equality assertion is the
+part that must hold everywhere.  The wall-clock win appears with
+physical parallelism — and, independent of CPU count, from the result
+store: a warm cache answers the whole grid with zero executions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import SystemConfig
+from repro.exec.executor import Executor
+from repro.exec.jobs import RunJob
+from repro.exec.serialize import result_to_dict
+from repro.harness.reporting import format_table
+from repro.harness.runner import workload
+
+GRID_SCALE = "tiny"
+GRID_SEED = 1
+
+
+def build_grid() -> list[RunJob]:
+    jobs = []
+    for app in ("counter", "intruder"):
+        for procs in (2, 4):
+            spec = workload(app, scale=GRID_SCALE, seed=GRID_SEED)
+            config = SystemConfig(num_procs=procs, seed=GRID_SEED)
+            jobs.append(RunJob(spec, config.with_gating(False)))
+            jobs.append(RunJob(spec, config.with_gating(True)))
+    return jobs
+
+
+def measure(workers: int, grid: list[RunJob]) -> tuple[float, list[dict]]:
+    exe = Executor(jobs=workers)
+    started = time.perf_counter()
+    results = exe.run(grid)
+    wall = time.perf_counter() - started
+    return wall, [result_to_dict(r) for r in results]
+
+
+def run_scaling(widths: tuple[int, ...] = (1, 2, 4)) -> list[tuple]:
+    grid = build_grid()
+    rows = []
+    serial_wall, serial_results = measure(1, grid)
+    rows.append((1, len(grid), round(serial_wall, 3), 1.0))
+    for workers in widths:
+        if workers == 1:
+            continue
+        wall, results = measure(workers, grid)
+        assert results == serial_results, (
+            f"{workers}-worker results diverged from serial"
+        )
+        rows.append((workers, len(grid), round(wall, 3),
+                     round(serial_wall / wall, 2)))
+    return rows
+
+
+def test_exec_scaling(benchmark):
+    grid = build_grid()
+    workers = min(4, os.cpu_count() or 1)
+    _wall, results = benchmark(measure, workers, grid)
+    _serial_wall, serial_results = measure(1, grid)
+    assert results == serial_results
+    print()
+    print(
+        format_table(
+            ["workers", "jobs", "wall (s)", "speed-up vs serial"],
+            run_scaling(),
+            title="repro.exec scaling — fixed 8-job grid",
+        )
+    )
+
+
+if __name__ == "__main__":
+    print(
+        format_table(
+            ["workers", "jobs", "wall (s)", "speed-up vs serial"],
+            run_scaling(),
+            title="repro.exec scaling — fixed 8-job grid",
+        )
+    )

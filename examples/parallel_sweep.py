@@ -1,0 +1,53 @@
+"""Parallel, cached figure regeneration with ``repro.exec``.
+
+Runs the Fig. 7 W0 sweep for one workload through a process-pool
+executor backed by an on-disk result store, twice: the first pass
+simulates, the second is answered entirely from the cache.  Equivalent
+CLI::
+
+    python -m repro sweep intruder --procs 4 --jobs 4 \
+        --cache-dir .repro-cache --progress
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SystemConfig
+from repro.exec import ConsoleProgress, Executor, ResultStore
+from repro.harness.runner import workload
+from repro.harness.sweep import w0_sensitivity
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="intruder")
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=0, help="0 = one per CPU")
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    args = parser.parse_args()
+
+    spec = workload(args.workload, scale=args.scale, seed=1)
+    config = SystemConfig(num_procs=args.procs, seed=1)
+
+    for label in ("cold", "warm"):
+        executor = Executor(
+            jobs=args.jobs,
+            store=ResultStore(args.cache_dir),
+            progress=ConsoleProgress(),
+        )
+        curves = w0_sensitivity(spec, config, executor=executor)
+        report = executor.last_report
+        print(f"{label}: {report.summary()}")
+
+    print()
+    for w0, point in curves.items():
+        print(
+            f"W0={w0:3d}  speed-up {point['speedup']:.3f}  "
+            f"energy reduction {point['energy_reduction']:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end smoke: one W0 sweep through the parallel executor with the
+# result cache, run twice — the second run must perform ZERO simulation
+# re-executions (the ISSUE acceptance criterion), and exec-status must
+# see the cached entries.  Run from the repo root (or via `make smoke`).
+set -euo pipefail
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+CACHE_DIR=${SMOKE_CACHE_DIR:-.smoke-cache}
+SWEEP=(sweep counter --scale tiny --procs 2 --w0-values 2 8
+       --jobs 2 --cache-dir "$CACHE_DIR" --progress)
+
+rm -rf "$CACHE_DIR"
+
+echo "== smoke: cold sweep (parallel, populating cache) =="
+cold=$(python -m repro "${SWEEP[@]}" 2>cold.err)
+cat cold.err
+grep -q "executed 3 of 3 submitted" cold.err  # 1 shared baseline + 2 gated runs
+
+echo "== smoke: warm sweep (must be pure cache hits) =="
+warm=$(python -m repro "${SWEEP[@]}" 2>warm.err)
+cat warm.err
+grep -q "executed 0 of 3 submitted" warm.err
+grep -q "3 cache hit(s)" warm.err
+
+[ "$cold" = "$warm" ] || { echo "smoke FAILED: cached sweep output differs"; exit 1; }
+
+echo "== smoke: exec-status =="
+status=$(python -m repro exec-status --cache-dir "$CACHE_DIR")
+echo "$status"
+echo "$status" | grep -q "3 entries"
+
+rm -f cold.err warm.err
+rm -rf "$CACHE_DIR"
+echo "smoke OK: parallel sweep cached end-to-end, zero re-executions"

@@ -113,6 +113,11 @@ __all__ = [
     "available_workloads",
     "RunResult",
     "GatingComparison",
+    # parallel execution / caching (populated below)
+    "Executor",
+    "RunJob",
+    "ExecResult",
+    "ResultStore",
     "__version__",
 ]
 
@@ -125,3 +130,4 @@ from .harness import (  # noqa: E402
     run_workload,
     workload,
 )
+from .exec import ExecResult, Executor, ResultStore, RunJob  # noqa: E402

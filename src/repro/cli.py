@@ -7,7 +7,17 @@ Commands
 ``evaluate``    the paper's evaluation grid + Section VIII averages
 ``sweep``       Fig. 7 W0 sensitivity for one workload
 ``cache-power`` the Fig. 3 TCC-cache power analysis
+``exec-status`` inspect a result-cache directory (entries, sizes, labels)
 ``list``        available workloads and contention managers
+
+Execution control (``compare``, ``evaluate``, ``sweep``)
+--------------------------------------------------------
+``--jobs N``       fan simulation runs across N worker processes
+                   (``0`` = one per CPU; default 1 = serial)
+``--cache-dir P``  content-addressed result cache: re-running an
+                   unchanged figure or sweep performs zero simulations
+``--no-cache``     ignore ``--cache-dir`` for this invocation
+``--progress``     per-job status lines + batch speed-up on stderr
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ from typing import Sequence
 from .analysis.runreport import run_report
 from .cm.registry import available_cms
 from .config import GatingConfig, SystemConfig
+from .exec.executor import Executor
+from .exec.progress import ConsoleProgress
+from .exec.store import ResultStore
 from .harness.compare import compare_gating
 from .harness.experiments import EvaluationSuite
 from .harness.reporting import format_matrix, format_table
@@ -45,6 +58,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="contention manager (see `list`)")
 
 
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    """Parallel-execution and result-cache flags (repro.exec)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = one per CPU; default 1)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir for this invocation")
+    parser.add_argument("--progress", action="store_true",
+                        help="per-job status and batch speed-up on stderr")
+
+
 def _config(args: argparse.Namespace, gating_enabled: bool = True) -> SystemConfig:
     return dataclasses.replace(
         SystemConfig(num_procs=args.procs, seed=args.seed),
@@ -52,6 +77,14 @@ def _config(args: argparse.Namespace, gating_enabled: bool = True) -> SystemConf
             enabled=gating_enabled, w0=args.w0, contention_manager=args.cm
         ),
     )
+
+
+def _executor(args: argparse.Namespace) -> Executor:
+    store = None
+    if args.cache_dir and not args.no_cache:
+        store = ResultStore(args.cache_dir)
+    progress = ConsoleProgress() if args.progress else None
+    return Executor(jobs=args.jobs, store=store, progress=progress)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,19 +106,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="paired gated/ungated comparison")
     p_cmp.add_argument("workload")
     _add_common(p_cmp)
+    _add_exec(p_cmp)
 
     p_eval = sub.add_parser("evaluate", help="regenerate Figs. 4-6 + averages")
     _add_common(p_eval)
+    _add_exec(p_eval)
     p_eval.add_argument("--grid", type=int, nargs="+", default=[4, 8, 16],
                         help="processor counts (default 4 8 16)")
 
     p_sweep = sub.add_parser("sweep", help="Fig. 7 W0 sensitivity")
     p_sweep.add_argument("workload")
     _add_common(p_sweep)
+    _add_exec(p_sweep)
     p_sweep.add_argument("--w0-values", type=int, nargs="+",
                          default=list(DEFAULT_W0_VALUES))
 
     sub.add_parser("cache-power", help="Fig. 3 TCC-cache power analysis")
+
+    p_status = sub.add_parser(
+        "exec-status", help="inspect a repro.exec result cache"
+    )
+    p_status.add_argument("--cache-dir", required=True, metavar="PATH")
+    p_status.add_argument("--verbose", action="store_true",
+                          help="list every cached run")
+
     sub.add_parser("list", help="available workloads and policies")
     return parser
 
@@ -115,6 +159,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = compare_gating(
         workload(args.workload, scale=args.scale, seed=args.seed),
         _config(args),
+        executor=_executor(args),
     )
     print(format_energy_report(comparison.energy_report()))
     print()
@@ -124,7 +169,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     suite = EvaluationSuite(
-        scale=args.scale, seed=args.seed, procs=tuple(args.grid), w0=args.w0
+        scale=args.scale, seed=args.seed, procs=tuple(args.grid), w0=args.w0,
+        executor=_executor(args),
     )
     suite.run_all()
     print(format_table(["app", "procs", "N1", "N2", "speed-up"],
@@ -153,6 +199,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workload(args.workload, scale=args.scale, seed=args.seed),
         _config(args),
         w0_values=tuple(args.w0_values),
+        executor=_executor(args),
     )
     rows = [
         (w0, point["speedup"], point["energy_reduction"],
@@ -183,6 +230,29 @@ def _cmd_cache_power(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exec_status(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.isdir(args.cache_dir):
+        # Read-only command: never create the directory (a typo'd path
+        # would otherwise masquerade as an empty store).
+        print(f"no result store at {args.cache_dir}", file=sys.stderr)
+        return 1
+    store = ResultStore(args.cache_dir)
+    stats = store.stats()
+    print(stats.summary())
+    by_workload: dict[str, int] = {}
+    for _digest, label in store.labels():
+        name = label.split("[", 1)[0] if label else "(unlabelled)"
+        by_workload[name] = by_workload.get(name, 0) + 1
+    for name in sorted(by_workload):
+        print(f"  {name}: {by_workload[name]} cached run(s)")
+    if args.verbose:
+        for digest, label in sorted(store.labels(), key=lambda e: e[1]):
+            print(f"  {digest[:12]}  {label}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for name in available_workloads():
@@ -199,6 +269,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "cache-power": _cmd_cache_power,
+    "exec-status": _cmd_exec_status,
     "list": _cmd_list,
 }
 

@@ -34,6 +34,7 @@ class ImmediateCM(ContentionManager):
     """Retry immediately; minimal gating window when asked for one."""
 
     name = "immediate"
+    ungated_w0_independent = True
 
     def __init__(self, w0: int = 8):
         self.w0 = w0

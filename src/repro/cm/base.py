@@ -26,6 +26,14 @@ class ContentionManager(abc.ABC):
     #: registry name, set by subclasses
     name: str = "abstract"
 
+    #: True when :meth:`retry_delay` does not depend on :math:`W_0`, i.e.
+    #: an *ungated* run under this policy is identical for every ``w0``.
+    #: :mod:`repro.exec` uses this to collapse the ungated baselines of a
+    #: :math:`W_0` sweep onto one content digest.  Policies whose ungated
+    #: back-off is derived from ``w0`` (linear/exponential/polite) must
+    #: leave this ``False``.
+    ungated_w0_independent: bool = False
+
     @abc.abstractmethod
     def gating_window(self, abort_count: int, renew_count: int) -> int:
         """Gating duration :math:`W_t` in cycles.

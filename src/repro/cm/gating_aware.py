@@ -46,6 +46,8 @@ class GatingAwareCM(ContentionManager):
     """Eq. (8) windows; immediate ungated retry (the paper's baseline)."""
 
     name = "gating-aware"
+    #: ungated retries are immediate, so w0 never reaches the baseline
+    ungated_w0_independent = True
 
     def __init__(self, w0: int = 8):
         if w0 < 1:

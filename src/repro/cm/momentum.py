@@ -32,6 +32,7 @@ class MomentumCM(ContentionManager):
     """Window ∝ victim momentum, with Eq. 8-style renewal escalation."""
 
     name = "momentum"
+    ungated_w0_independent = True
 
     def __init__(self, w0: int = 8, momentum_fraction: float = 0.5,
                  cap: int = 4096):

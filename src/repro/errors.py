@@ -18,6 +18,7 @@ __all__ = [
     "CacheOverflowError",
     "WorkloadError",
     "HarnessError",
+    "ExecutionError",
 ]
 
 
@@ -79,3 +80,12 @@ class WorkloadError(ReproError, ValueError):
 
 class HarnessError(ReproError, RuntimeError):
     """Raised by the experiment harness for invalid experiment requests."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Raised by :mod:`repro.exec` when a job batch cannot be resolved.
+
+    Examples: a worker process failing while executing a job (the
+    original exception is chained), an unwritable cache directory, or
+    an invalid worker count.
+    """

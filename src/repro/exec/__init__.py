@@ -1,0 +1,54 @@
+"""Parallel experiment execution with content-addressed result caching.
+
+``repro.exec`` turns the paper's evaluation grids — workload × config ×
+:math:`W_0` × processor count, Figs. 3–7 — from a serial loop into a
+batch of independent, deduplicated, cacheable jobs:
+
+* :mod:`~repro.exec.jobs` — :class:`RunJob`, a picklable, hashable run
+  request with a stable SHA-256 content digest, and :class:`ExecResult`,
+  the condensed process-boundary result.
+* :mod:`~repro.exec.executor` — :class:`Executor`, serial or
+  ``ProcessPoolExecutor``-backed fan-out with in-batch dedup and
+  deterministic result ordering; :class:`BatchReport` totals.
+* :mod:`~repro.exec.store` — :class:`ResultStore`, a digest-keyed
+  JSON-lines on-disk cache with tombstone invalidation.
+* :mod:`~repro.exec.progress` — per-job status and wall-clock/speed-up
+  reporting.
+
+Quickstart::
+
+    from repro import SystemConfig
+    from repro.exec import Executor, ResultStore, RunJob
+    from repro.harness.runner import workload
+
+    exe = Executor(jobs=4, store=ResultStore(".repro-cache"))
+    spec = workload("intruder", scale="small")
+    jobs = [RunJob(spec, SystemConfig(num_procs=p)) for p in (4, 8, 16)]
+    results = exe.run(jobs)           # parallel, cached, in order
+    print(exe.last_report.summary())
+
+The harness layers (:mod:`repro.harness.sweep`,
+:mod:`repro.harness.compare`, :mod:`repro.harness.experiments`) accept
+an ``executor=`` argument and submit through this subsystem; the CLI
+exposes it as ``--jobs N``, ``--cache-dir PATH``, ``--no-cache`` and
+the ``exec-status`` subcommand.
+"""
+
+from .executor import BatchReport, Executor
+from .jobs import SCHEMA_VERSION, ExecResult, RunJob, execute_job
+from .progress import ConsoleProgress, NullProgress, ProgressListener
+from .store import ResultStore, StoreStats
+
+__all__ = [
+    "RunJob",
+    "ExecResult",
+    "execute_job",
+    "SCHEMA_VERSION",
+    "Executor",
+    "BatchReport",
+    "ResultStore",
+    "StoreStats",
+    "ProgressListener",
+    "NullProgress",
+    "ConsoleProgress",
+]

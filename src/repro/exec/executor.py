@@ -1,0 +1,242 @@
+"""Batch execution of :class:`~repro.exec.jobs.RunJob` values.
+
+The executor turns a batch of jobs into a list of results, in
+submission order, through three stages:
+
+1. **Dedup** — jobs are keyed by content digest; identical jobs (e.g.
+   the shared ungated baseline of a :math:`W_0` sweep) execute once and
+   fan their result out to every submitter.
+2. **Cache** — with a :class:`~repro.exec.store.ResultStore` attached,
+   unique digests are answered from disk when possible; fresh results
+   are written back, so re-running an unchanged figure or sweep is pure
+   cache hits.
+3. **Execute** — remaining jobs run either inline (``jobs=1``, the
+   serial backend) or fanned across a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker wires
+   its own deterministic engine from the pickled job, so the parallel
+   path produces bit-identical numbers to the serial path, and result
+   ordering never depends on completion order.
+
+Every ``run`` leaves a :class:`BatchReport` on
+:attr:`Executor.last_report` with per-batch totals and the measured
+serial-equivalent speed-up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ExecutionError
+from .jobs import ExecResult, RunJob, execute_job
+from .progress import ProgressListener
+from .store import ResultStore
+
+__all__ = ["Executor", "BatchReport"]
+
+
+def _timed_execute(job: RunJob) -> tuple[ExecResult, float]:
+    """Pool entry point: run one job, measuring its own wall clock."""
+    started = time.perf_counter()
+    result = execute_job(job)
+    return result, time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Totals for one :meth:`Executor.run` call."""
+
+    total: int
+    unique: int
+    deduplicated: int
+    cache_hits: int
+    executed: int
+    workers: int
+    wall_seconds: float
+    run_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall clock (>= 1 is a win)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.run_seconds / self.wall_seconds
+
+    def summary(self) -> str:
+        return (
+            f"executed {self.executed} of {self.total} submitted "
+            f"({self.deduplicated} deduplicated, {self.cache_hits} cache "
+            f"hit(s)) on {self.workers} worker(s) in {self.wall_seconds:.2f}s"
+            + (
+                f" (serial-equivalent {self.run_seconds:.2f}s, "
+                f"speed-up {self.speedup:.2f}x)"
+                if self.executed
+                else ""
+            )
+        )
+
+
+class Executor:
+    """Serial or process-pool job execution with dedup and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes inline in this
+        process; ``0`` means one per CPU.
+    store:
+        Optional :class:`~repro.exec.store.ResultStore` consulted before
+        executing and updated after.
+    progress:
+        Optional :class:`~repro.exec.progress.ProgressListener`.
+    refresh:
+        Skip cache *reads* (every unique job re-executes) while still
+        writing results back — recompute-and-overwrite semantics.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+        progress: ProgressListener | None = None,
+        refresh: bool = False,
+    ):
+        if jobs < 0:
+            raise ExecutionError(f"worker count cannot be negative: {jobs}")
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self.store = store
+        self.progress = progress if progress is not None else ProgressListener()
+        self.refresh = refresh
+        self.last_report: BatchReport | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, batch: Sequence[RunJob]) -> list[ExecResult]:
+        """Resolve every job; returns results in submission order."""
+        started = time.perf_counter()
+        batch = list(batch)
+        digests = [job.digest for job in batch]
+
+        unique: dict[str, RunJob] = {}
+        for job, digest in zip(batch, digests):
+            unique.setdefault(digest, job)
+
+        results: dict[str, ExecResult] = {}
+        if self.store is not None and not self.refresh:
+            for digest in unique:
+                cached = self.store.get(digest)
+                if cached is not None:
+                    results[digest] = cached
+        cache_hits = len(results)
+
+        pending = [
+            (digest, job)
+            for digest, job in unique.items()
+            if digest not in results
+        ]
+        workers = min(self.jobs, len(pending)) if pending else 0
+        self.progress.batch_started(
+            len(batch), len(unique), cache_hits, max(workers, 1)
+        )
+
+        run_seconds = 0.0
+        if pending:
+            if workers <= 1:
+                run_seconds = self._run_serial(pending, results)
+            else:
+                run_seconds = self._run_pool(pending, results, workers)
+
+        report = BatchReport(
+            total=len(batch),
+            unique=len(unique),
+            deduplicated=len(batch) - len(unique),
+            cache_hits=cache_hits,
+            executed=len(pending),
+            workers=max(workers, 1),
+            wall_seconds=time.perf_counter() - started,
+            run_seconds=run_seconds,
+        )
+        self.last_report = report
+        self.progress.batch_finished(report)
+
+        # Fan results back out in submission order.  A dedup/cache hit can
+        # hand back a result computed under a digest-equivalent but not
+        # field-identical config (e.g. an ungated baseline recorded at a
+        # different W0); re-stamp it so every caller sees exactly the
+        # config it submitted.  The numbers are identical by construction.
+        out: list[ExecResult] = []
+        for digest, job in zip(digests, batch):
+            result = results[digest]
+            if result.config != job.config:
+                result = dataclasses.replace(result, config=job.config)
+            out.append(result)
+        return out
+
+    def run_one(self, job: RunJob) -> ExecResult:
+        """Convenience wrapper: a batch of one."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------
+    def _record(self, digest: str, job: RunJob, result: ExecResult,
+                results: dict[str, ExecResult]) -> None:
+        """Land one finished result — write-through to the store so
+        completed work survives even if a later job in the batch fails."""
+        results[digest] = result
+        if self.store is not None:
+            self.store.put(digest, result, job=job)
+
+    def _run_serial(
+        self,
+        pending: list[tuple[str, RunJob]],
+        results: dict[str, ExecResult],
+    ) -> float:
+        run_seconds = 0.0
+        for done, (digest, job) in enumerate(pending, start=1):
+            try:
+                result, seconds = _timed_execute(job)
+            except Exception as exc:
+                raise ExecutionError(
+                    f"job {job.label()} ({digest[:12]}) failed: {exc}"
+                ) from exc
+            self._record(digest, job, result, results)
+            run_seconds += seconds
+            self.progress.job_finished(done, len(pending), job, seconds)
+        return run_seconds
+
+    def _run_pool(
+        self,
+        pending: list[tuple[str, RunJob]],
+        results: dict[str, ExecResult],
+        workers: int,
+    ) -> float:
+        run_seconds = 0.0
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_timed_execute, job): (digest, job)
+                for digest, job in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_EXCEPTION
+                )
+                for future in finished:
+                    digest, job = futures[future]
+                    try:
+                        result, seconds = future.result()
+                    except Exception as exc:
+                        for other in remaining:
+                            other.cancel()
+                        raise ExecutionError(
+                            f"job {job.label()} ({digest[:12]}) failed in "
+                            f"worker: {exc}"
+                        ) from exc
+                    self._record(digest, job, result, results)
+                    run_seconds += seconds
+                    done += 1
+                    self.progress.job_finished(done, len(pending), job, seconds)
+        return run_seconds

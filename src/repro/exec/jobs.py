@@ -1,0 +1,164 @@
+"""The job model: one simulation run as a picklable, hashable value.
+
+A :class:`RunJob` captures *everything* that determines a run's outcome
+— the workload spec (name, scale, seed, overrides), the full
+:class:`~repro.config.SystemConfig`, the power-model fingerprint and
+the validation switch — and renders it as a stable content digest
+(SHA-256 over a canonical JSON encoding).  Two jobs with equal digests
+are guaranteed to produce numerically identical results, which is what
+lets the executor deduplicate work inside a batch and the result store
+answer repeat runs from disk.
+
+Digest normalization
+--------------------
+An ungated run cannot depend on gating-only parameters.  When
+``config.gating.enabled`` is ``False`` and the configured contention
+manager declares its ungated retry schedule independent of :math:`W_0`
+(see :attr:`~repro.cm.base.ContentionManager.ungated_w0_independent`),
+the digest zeroes out ``gating.w0`` — so one shared ungated baseline
+serves an entire Fig. 7 :math:`W_0` sweep instead of one baseline per
+sweep point.
+
+:class:`ExecResult` is the condensed, process-boundary-friendly form of
+:class:`~repro.harness.runner.RunResult`: the same headline numbers
+(parallel time, energy breakdown, counters) without the raw timelines
+and memory snapshot, so it pickles cheaply across workers and
+round-trips exactly through JSON (see :mod:`repro.exec.serialize`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Any
+
+from ..config import SystemConfig
+from ..metrics import TxMetricsMixin
+from ..power.energy import EnergyBreakdown
+from ..power.model import PowerModel
+from .serialize import canonical_json
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
+    from ..harness.runner import RunResult, WorkloadSpec
+
+__all__ = ["SCHEMA_VERSION", "RunJob", "ExecResult", "execute_job"]
+
+#: Bump whenever job semantics or the result encoding change in a way
+#: that invalidates previously cached results; the store skips records
+#: written under a different schema.
+SCHEMA_VERSION = 1
+
+
+def _ungated_w0_independent(config: SystemConfig) -> bool:
+    """Does the configured CM ignore :math:`W_0` when gating is off?"""
+    from ..cm.registry import create_cm
+
+    return create_cm(config.gating, config.seed).ungated_w0_independent
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One (workload spec × configuration × power model) run request."""
+
+    spec: "WorkloadSpec"
+    config: SystemConfig
+    power: PowerModel = field(default_factory=PowerModel.derive)
+    validate: bool = True
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical content of this job, as plain JSON-able data."""
+        config = dataclasses.asdict(self.config)
+        if not self.config.gating.enabled and _ungated_w0_independent(
+            self.config
+        ):
+            # The gating protocol is off and the CM's ungated retry
+            # schedule ignores W0 — normalize it out of the digest so
+            # one baseline serves a whole W0 sweep.
+            config["gating"]["w0"] = 0
+        return {
+            "schema": SCHEMA_VERSION,
+            "workload": {
+                "name": self.spec.name,
+                "scale": self.spec.scale,
+                "seed": self.spec.seed,
+                "overrides": [list(pair) for pair in self.spec.overrides],
+            },
+            "config": config,
+            "power": dataclasses.asdict(self.power),
+            "validate": self.validate,
+        }
+
+    @cached_property
+    def digest(self) -> str:
+        """Stable SHA-256 content digest (hex) of the canonical payload."""
+        return hashlib.sha256(canonical_json(self.payload()).encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable description for progress reporting."""
+        gating = self.config.gating
+        mode = f"gated w0={gating.w0}" if gating.enabled else "ungated"
+        return (
+            f"{self.spec.name}[{self.spec.scale}] "
+            f"x{self.config.num_procs} {mode}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecResult(TxMetricsMixin):
+    """Condensed outcome of one job — everything the harness layers use.
+
+    Mirrors the read API of :class:`~repro.harness.runner.RunResult`
+    (``parallel_time``, ``energy``, ``counters``, and the
+    :class:`~repro.metrics.TxMetricsMixin` metrics, shared with it) but
+    drops the raw timelines, memory snapshot and stats objects, so it is
+    cheap to ship across a process pool and serializes exactly to JSON.
+    """
+
+    workload: str
+    scale: str
+    config: SystemConfig
+    power: PowerModel
+    end_cycle: int
+    parallel_start: int
+    parallel_end: int
+    energy: EnergyBreakdown
+    counters: dict[str, int]
+
+    @property
+    def parallel_time(self) -> int:
+        """The paper's N (N1 ungated, N2 gated)."""
+        return self.parallel_end - self.parallel_start
+
+    @classmethod
+    def from_run_result(
+        cls, result: "RunResult", power: PowerModel
+    ) -> "ExecResult":
+        return cls(
+            workload=result.workload,
+            scale=result.scale,
+            config=result.config,
+            power=power,
+            end_cycle=result.machine_result.end_cycle,
+            parallel_start=result.machine_result.parallel_start,
+            parallel_end=result.machine_result.parallel_end,
+            energy=result.energy,
+            counters=dict(result.counters),
+        )
+
+
+def execute_job(job: RunJob) -> ExecResult:
+    """Worker entry point: run one job in the current process.
+
+    Each invocation wires a fresh deterministic engine/machine from the
+    job's spec and config, so executing in a pool worker produces
+    bit-identical numbers to executing inline (the engine has no global
+    state and every seed travels inside the job).
+    """
+    from ..harness.runner import run_workload  # lazy: avoids import cycle
+
+    result = run_workload(
+        job.spec, job.config, power_model=job.power, validate=job.validate
+    )
+    return ExecResult.from_run_result(result, job.power)

@@ -1,0 +1,74 @@
+"""Per-job status and wall-clock reporting for executor batches.
+
+The executor drives a :class:`ProgressListener` through three hooks:
+``batch_started`` (after dedup/cache resolution, so the listener knows
+how much real work remains), ``job_finished`` (once per *executed* job,
+in completion order) and ``batch_finished`` (with the final
+:class:`~repro.exec.executor.BatchReport`).
+
+:class:`ConsoleProgress` renders those hooks as single status lines —
+to ``stderr`` by default so figure tables on ``stdout`` stay clean and
+pipeable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .executor import BatchReport
+    from .jobs import RunJob
+
+__all__ = ["ProgressListener", "NullProgress", "ConsoleProgress"]
+
+
+class ProgressListener:
+    """No-op base class; subclass and override what you need."""
+
+    def batch_started(
+        self, total: int, unique: int, cached: int, workers: int
+    ) -> None:
+        """A batch was resolved: ``total`` submitted jobs collapsed to
+        ``unique`` distinct ones, of which ``cached`` came from the
+        store; the rest run on ``workers`` worker(s)."""
+
+    def job_finished(
+        self, done: int, pending: int, job: "RunJob", seconds: float
+    ) -> None:
+        """One executed job completed (``done`` of ``pending``)."""
+
+    def batch_finished(self, report: "BatchReport") -> None:
+        """The whole batch resolved; ``report`` has the totals."""
+
+
+#: Alias that makes call sites read naturally when progress is off.
+NullProgress = ProgressListener
+
+
+class ConsoleProgress(ProgressListener):
+    """Human-readable one-line-per-event reporting."""
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def batch_started(
+        self, total: int, unique: int, cached: int, workers: int
+    ) -> None:
+        deduped = total - unique
+        self._emit(
+            f"exec: {total} job(s) -> {unique} unique "
+            f"({deduped} deduplicated, {cached} cache hit(s)), "
+            f"{unique - cached} to run on {workers} worker(s)"
+        )
+
+    def job_finished(
+        self, done: int, pending: int, job: "RunJob", seconds: float
+    ) -> None:
+        self._emit(f"exec: [{done}/{pending}] {job.label()} ({seconds:.2f}s)")
+
+    def batch_finished(self, report: "BatchReport") -> None:
+        self._emit("exec: " + report.summary())

@@ -1,0 +1,167 @@
+"""Content-addressed on-disk result cache (append-only JSON lines).
+
+The store maps a :class:`~repro.exec.jobs.RunJob` digest to its
+:class:`~repro.exec.jobs.ExecResult`.  Records append to one
+``results.jsonl`` file inside the cache directory; on open, the file is
+replayed into an in-memory index where the *last* record per digest
+wins.  Invalidations append tombstone records, so the file remains a
+faithful log and the store never rewrites history except in
+:meth:`ResultStore.clear`/:meth:`ResultStore.compact`.
+
+Records written under a different :data:`~repro.exec.jobs.SCHEMA_VERSION`
+— or lines that fail to parse (e.g. a run killed mid-append) — are
+skipped on load and reported via :meth:`ResultStore.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ExecutionError
+from .jobs import SCHEMA_VERSION, ExecResult, RunJob
+from .serialize import result_from_dict, result_to_dict
+
+__all__ = ["ResultStore", "StoreStats"]
+
+_FILENAME = "results.jsonl"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of one store's content and session traffic."""
+
+    path: str
+    entries: int
+    file_bytes: int
+    hits: int
+    misses: int
+    skipped_records: int
+    schema: int = SCHEMA_VERSION
+
+    def summary(self) -> str:
+        return (
+            f"result store {self.path}: {self.entries} entries "
+            f"({self.file_bytes} bytes, schema v{self.schema}), "
+            f"session hits/misses {self.hits}/{self.misses}, "
+            f"{self.skipped_records} skipped records"
+        )
+
+
+class ResultStore:
+    """Digest-keyed persistent cache of simulation results."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ExecutionError(
+                f"cannot create cache directory {self.directory}: {exc}"
+            ) from exc
+        self.path = self.directory / _FILENAME
+        self.hits = 0
+        self.misses = 0
+        self._skipped = 0
+        self._index: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        self._index.clear()
+        self._skipped = 0
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    digest = record["digest"]
+                except (ValueError, KeyError, TypeError):
+                    self._skipped += 1
+                    continue
+                if record.get("tombstone"):
+                    self._index.pop(digest, None)
+                    continue
+                if record.get("schema") != SCHEMA_VERSION:
+                    self._skipped += 1
+                    continue
+                self._index[digest] = record
+
+    def _append(self, record: dict[str, Any]) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> ExecResult | None:
+        """Look up a result; counts a session hit or miss."""
+        record = self._index.get(digest)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(record["result"])
+
+    def put(self, digest: str, result: ExecResult, job: RunJob | None = None) -> None:
+        """Persist one result (idempotent; later writes win on replay)."""
+        record: dict[str, Any] = {
+            "digest": digest,
+            "schema": SCHEMA_VERSION,
+            "created": time.time(),
+            "result": result_to_dict(result),
+        }
+        if job is not None:
+            record["label"] = job.label()
+        self._append(record)
+        self._index[digest] = record
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop one entry (appends a tombstone). Returns True if present."""
+        present = digest in self._index
+        if present:
+            self._append({"digest": digest, "tombstone": True})
+            self._index.pop(digest, None)
+        return present
+
+    def clear(self) -> int:
+        """Drop every entry and truncate the log. Returns entries removed."""
+        removed = len(self._index)
+        self._index.clear()
+        if self.path.exists():
+            self.path.write_text("")
+        return removed
+
+    def compact(self) -> None:
+        """Rewrite the log with only the live records (drops tombstones)."""
+        with self.path.open("w", encoding="utf-8") as fh:
+            for record in self._index.values():
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def labels(self) -> Iterator[tuple[str, str]]:
+        """(digest, label) pairs for every entry (label may be '')."""
+        for digest, record in self._index.items():
+            yield digest, record.get("label", "")
+
+    def stats(self) -> StoreStats:
+        file_bytes = self.path.stat().st_size if self.path.exists() else 0
+        return StoreStats(
+            path=str(self.path),
+            entries=len(self._index),
+            file_bytes=file_bytes,
+            hits=self.hits,
+            misses=self.misses,
+            skipped_records=self._skipped,
+        )

@@ -12,7 +12,7 @@ High-level entry points:
 
 from .runner import RunResult, WorkloadSpec, run_workload, workload
 from .compare import GatingComparison, compare_gating
-from .sweep import w0_sensitivity, proc_scaling
+from .sweep import w0_sensitivity, w0_sensitivity_grid, proc_scaling
 from .experiments import EvaluationSuite
 from .reporting import format_table, format_matrix
 from .validation import check_serializability
@@ -26,6 +26,7 @@ __all__ = [
     "GatingComparison",
     "compare_gating",
     "w0_sensitivity",
+    "w0_sensitivity_grid",
     "proc_scaling",
     "EvaluationSuite",
     "format_table",

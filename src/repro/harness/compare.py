@@ -4,8 +4,15 @@ The paper evaluates every (application, processor count) point twice on
 identical hardware — once with the gating protocol, once without — and
 reports speed-up (Fig. 4 annotations), the Eq. (6) energy-reduction
 factor (Fig. 5) and the Eq. (7) average-power reduction (Fig. 6).
-:func:`compare_gating` reproduces exactly that: one workload instance,
-two runs differing only in the gating switch.
+:func:`compare_gating` reproduces exactly that: one workload spec, two
+runs differing only in the gating switch.
+
+Both runs are submitted as :class:`~repro.exec.jobs.RunJob` values
+through an :class:`~repro.exec.executor.Executor`, so a comparison can
+fan across worker processes and hit the content-addressed result cache;
+each job builds its workload instance from the same (name, scale, seed)
+spec, so the two executions still see byte-identical initial memory and
+identical program streams — only the gating switch differs.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SystemConfig
+from ..exec.executor import Executor
+from ..exec.jobs import ExecResult, RunJob
 from ..power.energy import average_power_reduction, energy_reduction
 from ..power.model import PowerModel
 from ..power.report import EnergyReport
-from .runner import RunResult, WorkloadSpec, run_workload
+from .runner import RunResult, WorkloadSpec
 
 __all__ = ["GatingComparison", "compare_gating"]
 
@@ -27,8 +36,8 @@ class GatingComparison:
 
     workload: str
     num_procs: int
-    ungated: RunResult
-    gated: RunResult
+    ungated: RunResult | ExecResult
+    gated: RunResult | ExecResult
 
     @property
     def n1(self) -> int:
@@ -73,26 +82,28 @@ def compare_gating(
     config: SystemConfig,
     power_model: PowerModel | None = None,
     validate: bool = True,
+    executor: Executor | None = None,
 ) -> GatingComparison:
     """Run ``source`` with and without clock gating on identical hardware.
 
-    The workload instance is built once and reused for both runs, so
-    the two executions see byte-identical initial memory and identical
-    program streams — only the gating switch differs.
+    With ``executor`` supplied, the pair runs through the shared
+    :mod:`repro.exec` pipeline (parallel workers, in-batch dedup,
+    on-disk result cache); by default an inline serial executor is used
+    and the behaviour matches the historical API.
     """
     if isinstance(source, str):
         source = WorkloadSpec(source)
-    instance = source.build(config.num_procs)
+    exe = executor if executor is not None else Executor()
     model = power_model if power_model is not None else PowerModel.derive()
 
-    ungated = run_workload(
-        instance, config.with_gating(False), power_model=model, validate=validate
-    )
-    gated = run_workload(
-        instance, config.with_gating(True), power_model=model, validate=validate
+    ungated, gated = exe.run(
+        [
+            RunJob(source, config.with_gating(False), model, validate=validate),
+            RunJob(source, config.with_gating(True), model, validate=validate),
+        ]
     )
     return GatingComparison(
-        workload=instance.name,
+        workload=ungated.workload,
         num_procs=config.num_procs,
         ungated=ungated,
         gated=gated,

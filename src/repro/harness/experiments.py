@@ -24,18 +24,27 @@ import dataclasses
 from typing import Sequence
 
 from ..config import GatingConfig, SystemConfig
+from ..exec.executor import Executor
+from ..exec.jobs import RunJob
 from ..power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve
 from ..power.model import PowerModel
 from ..workloads.registry import PAPER_APPS
 from .compare import GatingComparison, compare_gating
 from .runner import WorkloadSpec
-from .sweep import DEFAULT_W0_VALUES, w0_sensitivity
+from .sweep import DEFAULT_W0_VALUES, w0_sensitivity_grid
 
 __all__ = ["EvaluationSuite"]
 
 
 class EvaluationSuite:
-    """Runs and caches the paper's evaluation grid."""
+    """Runs and caches the paper's evaluation grid.
+
+    With an ``executor``, whole figure grids are submitted as one job
+    batch through :mod:`repro.exec` — fanning across worker processes,
+    sharing the ungated baselines between the Fig. 4–6 comparisons and
+    the Fig. 7 sweeps via content-digest dedup, and answering repeat
+    evaluations from the executor's result store.
+    """
 
     def __init__(
         self,
@@ -45,6 +54,7 @@ class EvaluationSuite:
         apps: Sequence[str] = PAPER_APPS,
         w0: int = 8,
         base_config: SystemConfig | None = None,
+        executor: Executor | None = None,
     ):
         self.scale = scale
         self.seed = seed
@@ -53,6 +63,7 @@ class EvaluationSuite:
         self.w0 = w0
         self._base = base_config if base_config is not None else SystemConfig()
         self._model = PowerModel.derive()
+        self._exec = executor if executor is not None else Executor()
         self._comparisons: dict[tuple[str, int], GatingComparison] = {}
         self._w0_curves: dict[tuple[str, int], dict[int, dict[str, float]]] = {}
 
@@ -74,15 +85,44 @@ class EvaluationSuite:
         key = (app, num_procs)
         if key not in self._comparisons:
             self._comparisons[key] = compare_gating(
-                self._spec(app), self._config(num_procs), power_model=self._model
+                self._spec(app),
+                self._config(num_procs),
+                power_model=self._model,
+                executor=self._exec,
             )
         return self._comparisons[key]
 
     def run_all(self) -> None:
-        """Force-run the whole grid (benchmarks call this once)."""
-        for app in self.apps:
-            for num_procs in self.procs:
-                self.comparison(app, num_procs)
+        """Force-run the whole grid as ONE executor batch.
+
+        Submitting every (app × procs × gating) run together lets the
+        executor fan the grid across its workers and deduplicate any
+        shared runs; results land in the same per-point comparison
+        cache that :meth:`comparison` fills lazily.
+        """
+        missing = [
+            (app, num_procs)
+            for app in self.apps
+            for num_procs in self.procs
+            if (app, num_procs) not in self._comparisons
+        ]
+        if not missing:
+            return
+        jobs: list[RunJob] = []
+        for app, num_procs in missing:
+            spec = self._spec(app)
+            config = self._config(num_procs)
+            jobs.append(RunJob(spec, config.with_gating(False), self._model))
+            jobs.append(RunJob(spec, config.with_gating(True), self._model))
+        results = self._exec.run(jobs)
+        for index, (app, num_procs) in enumerate(missing):
+            ungated, gated = results[2 * index], results[2 * index + 1]
+            self._comparisons[(app, num_procs)] = GatingComparison(
+                workload=ungated.workload,
+                num_procs=num_procs,
+                ungated=ungated,
+                gated=gated,
+            )
 
     # ------------------------------------------------------------------
     # figures
@@ -134,19 +174,33 @@ class EvaluationSuite:
         self, w0_values: tuple[int, ...] = DEFAULT_W0_VALUES
     ) -> dict[str, dict[int, dict[int, float]]]:
         """``{app: {num_procs: {w0: speed-up}}}`` — Fig. 7."""
+        # Resolve every missing curve in one executor batch; cached
+        # curves are reused unless they lack a requested W0 value.
+        missing = [
+            (app, num_procs)
+            for app in self.apps
+            for num_procs in self.procs
+            if not set(w0_values)
+            <= set(self._w0_curves.get((app, num_procs), {}))
+        ]
+        if missing:
+            curves = w0_sensitivity_grid(
+                [
+                    (self._spec(app), self._config(num_procs))
+                    for app, num_procs in missing
+                ],
+                w0_values=w0_values,
+                power_model=self._model,
+                executor=self._exec,
+            )
+            for key, curve in zip(missing, curves):
+                self._w0_curves.setdefault(key, {}).update(curve)
+
         out: dict[str, dict[int, dict[int, float]]] = {}
         for app in self.apps:
             out[app] = {}
             for num_procs in self.procs:
-                key = (app, num_procs)
-                if key not in self._w0_curves:
-                    self._w0_curves[key] = w0_sensitivity(
-                        self._spec(app),
-                        self._config(num_procs),
-                        w0_values=w0_values,
-                        power_model=self._model,
-                    )
-                curve = self._w0_curves[key]
+                curve = self._w0_curves[(app, num_procs)]
                 out[app][num_procs] = {
                     w0: curve[w0]["speedup"] for w0 in w0_values
                 }

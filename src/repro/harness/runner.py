@@ -15,6 +15,7 @@ from typing import Any
 from ..config import SystemConfig
 from ..errors import HarnessError
 from ..htm.machine import Machine, MachineResult
+from ..metrics import TxMetricsMixin
 from ..power.energy import EnergyBreakdown, compute_energy
 from ..power.model import PowerModel
 from ..sim.timeline import verify_tiling
@@ -58,8 +59,14 @@ def workload(
 
 
 @dataclass
-class RunResult:
-    """Everything measured in one run."""
+class RunResult(TxMetricsMixin):
+    """Everything measured in one run.
+
+    Counter-derived metrics (``commits``, ``aborts``, ``abort_rate``,
+    ``wasted_cycles``, ``summary``) come from
+    :class:`~repro.metrics.TxMetricsMixin`, shared with the condensed
+    :class:`~repro.exec.jobs.ExecResult` so both views always agree.
+    """
 
     workload: str
     scale: str
@@ -76,35 +83,6 @@ class RunResult:
     @property
     def end_cycle(self) -> int:
         return self.machine_result.end_cycle
-
-    @property
-    def commits(self) -> int:
-        return self.counters.get("tx.commits", 0)
-
-    @property
-    def aborts(self) -> int:
-        """All futile re-executions (conflict aborts + wake-up self-aborts)."""
-        return self.counters.get("tx.aborts.conflict", 0) + self.counters.get(
-            "tx.aborts.self", 0
-        )
-
-    @property
-    def abort_rate(self) -> float:
-        attempts = self.counters.get("tx.attempts", 0)
-        return self.aborts / attempts if attempts else 0.0
-
-    @property
-    def wasted_cycles(self) -> int:
-        return self.counters.get("tx.wasted_cycles", 0)
-
-    def summary(self) -> str:
-        gating = "gated" if self.config.gating.enabled else "ungated"
-        return (
-            f"{self.workload}[{self.scale}] x{self.config.num_procs} "
-            f"({gating}): N={self.parallel_time} E={self.energy.total:.0f} "
-            f"commits={self.commits} aborts={self.aborts} "
-            f"(rate {self.abort_rate:.1%})"
-        )
 
 
 def _resolve_instance(

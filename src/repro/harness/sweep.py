@@ -5,21 +5,94 @@ contention-management constant :math:`W_0` and the processor count
 :math:`N_p`.  The ungated baseline does not depend on :math:`W_0`, so
 each (workload, Np) point runs one baseline plus one gated run per
 :math:`W_0` value.
+
+All sweeps submit their runs as :class:`~repro.exec.jobs.RunJob`
+batches through an :class:`~repro.exec.executor.Executor`, so they
+parallelize across worker processes (``executor=Executor(jobs=N)``),
+deduplicate shared baselines, and answer repeat sweeps from an attached
+:class:`~repro.exec.store.ResultStore` without re-simulating.  Passing
+no executor preserves the historical serial, uncached behaviour.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Sequence
 
 from ..config import SystemConfig
+from ..exec.executor import Executor
+from ..exec.jobs import ExecResult, RunJob
+from ..power.energy import average_power_reduction, energy_reduction
 from ..power.model import PowerModel
-from .runner import RunResult, WorkloadSpec, run_workload
+from .runner import WorkloadSpec
 
-__all__ = ["w0_sensitivity", "proc_scaling"]
+__all__ = [
+    "w0_sensitivity",
+    "w0_sensitivity_grid",
+    "proc_scaling",
+    "DEFAULT_W0_VALUES",
+]
 
 #: the W0 values swept in our Fig. 7 reproduction
 DEFAULT_W0_VALUES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
-__all__.append("DEFAULT_W0_VALUES")
+
+
+def _as_spec(source: WorkloadSpec | str) -> WorkloadSpec:
+    return WorkloadSpec(source) if isinstance(source, str) else source
+
+
+def _point_metrics(baseline: ExecResult, gated: ExecResult) -> dict[str, float]:
+    """The Fig. 7 per-point metrics from one baseline/gated pair."""
+    return {
+        "speedup": baseline.parallel_time / gated.parallel_time,
+        "energy_reduction": energy_reduction(baseline.energy, gated.energy),
+        "power_reduction": average_power_reduction(
+            baseline.energy, gated.energy
+        ),
+        "n1": float(baseline.parallel_time),
+        "n2": float(gated.parallel_time),
+    }
+
+
+def w0_sensitivity_grid(
+    points: Sequence[tuple[WorkloadSpec | str, SystemConfig]],
+    w0_values: tuple[int, ...] = DEFAULT_W0_VALUES,
+    power_model: PowerModel | None = None,
+    executor: Executor | None = None,
+) -> list[dict[int, dict[str, float]]]:
+    """Fig. 7 curves for many (workload, config) points in ONE batch.
+
+    Submitting the whole grid at once is what buys parallel speed-up:
+    every (baseline + per-:math:`W_0`) run of every point lands in the
+    same executor batch, identical jobs (shared ungated baselines)
+    collapse to one execution, and results come back grouped per point
+    in submission order.
+    """
+    exe = executor if executor is not None else Executor()
+    model = power_model if power_model is not None else PowerModel.derive()
+
+    jobs: list[RunJob] = []
+    for source, config in points:
+        spec = _as_spec(source)
+        jobs.append(RunJob(spec, config.with_gating(False), model))
+        jobs.extend(
+            RunJob(spec, config.with_gating(True).with_w0(w0), model)
+            for w0 in w0_values
+        )
+    results = exe.run(jobs)
+
+    curves: list[dict[int, dict[str, float]]] = []
+    stride = 1 + len(w0_values)
+    for index in range(len(points)):
+        block = results[index * stride : (index + 1) * stride]
+        baseline, gated_runs = block[0], block[1:]
+        curves.append(
+            {
+                w0: _point_metrics(baseline, gated)
+                for w0, gated in zip(w0_values, gated_runs)
+            }
+        )
+    return curves
 
 
 def w0_sensitivity(
@@ -27,33 +100,19 @@ def w0_sensitivity(
     config: SystemConfig,
     w0_values: tuple[int, ...] = DEFAULT_W0_VALUES,
     power_model: PowerModel | None = None,
+    executor: Executor | None = None,
 ) -> dict[int, dict[str, float]]:
     """Speed-up and energy reduction per :math:`W_0` (one Fig. 7 curve).
 
     Returns ``{w0: {"speedup": ..., "energy_reduction": ...,
     "power_reduction": ...}}`` for the given processor count.
     """
-    if isinstance(source, str):
-        source = WorkloadSpec(source)
-    instance = source.build(config.num_procs)
-    model = power_model if power_model is not None else PowerModel.derive()
-
-    baseline = run_workload(
-        instance, config.with_gating(False), power_model=model
-    )
-    results: dict[int, dict[str, float]] = {}
-    for w0 in w0_values:
-        gated_cfg = config.with_gating(True).with_w0(w0)
-        gated = run_workload(instance, gated_cfg, power_model=model)
-        results[w0] = {
-            "speedup": baseline.parallel_time / gated.parallel_time,
-            "energy_reduction": baseline.energy.total / gated.energy.total,
-            "power_reduction": (baseline.energy.total / gated.energy.total)
-            * (gated.parallel_time / baseline.parallel_time),
-            "n1": float(baseline.parallel_time),
-            "n2": float(gated.parallel_time),
-        }
-    return results
+    return w0_sensitivity_grid(
+        [(source, config)],
+        w0_values=w0_values,
+        power_model=power_model,
+        executor=executor,
+    )[0]
 
 
 def proc_scaling(
@@ -61,13 +120,15 @@ def proc_scaling(
     base_config: SystemConfig,
     proc_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
     power_model: PowerModel | None = None,
-) -> dict[int, RunResult]:
+    executor: Executor | None = None,
+) -> dict[int, ExecResult]:
     """Parallel-time scaling of one configuration across core counts."""
-    if isinstance(source, str):
-        source = WorkloadSpec(source)
+    spec = _as_spec(source)
+    exe = executor if executor is not None else Executor()
     model = power_model if power_model is not None else PowerModel.derive()
-    results: dict[int, RunResult] = {}
-    for num_procs in proc_counts:
-        config = dataclasses.replace(base_config, num_procs=num_procs)
-        results[num_procs] = run_workload(source, config, power_model=model)
-    return results
+    configs = [
+        dataclasses.replace(base_config, num_procs=num_procs)
+        for num_procs in proc_counts
+    ]
+    results = exe.run([RunJob(spec, config, model) for config in configs])
+    return dict(zip(proc_counts, results))

@@ -1,0 +1,54 @@
+"""Transaction-level derived metrics shared by run-result types.
+
+Both :class:`~repro.harness.runner.RunResult` (the full in-process
+result) and :class:`~repro.exec.jobs.ExecResult` (the condensed
+process-boundary result) expose the same derived view over the run's
+counters — commits, futile re-executions, abort rate, wasted work —
+and the same one-line summary.  Keeping the definitions here, in a
+module with no simulator dependencies, guarantees the two views can
+never drift apart (a cached result must report aborts exactly like a
+fresh one) and keeps the import graph acyclic: ``repro.harness`` and
+``repro.exec`` both depend on this module, never on each other's
+result types.
+
+Hosts must provide ``counters`` (a ``str -> int`` mapping) plus the
+``workload``, ``scale``, ``config``, ``parallel_time`` and ``energy``
+attributes used by :meth:`TxMetricsMixin.summary`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TxMetricsMixin"]
+
+
+class TxMetricsMixin:
+    """Counter-derived metrics over a run's ``counters`` mapping."""
+
+    @property
+    def commits(self) -> int:
+        return self.counters.get("tx.commits", 0)
+
+    @property
+    def aborts(self) -> int:
+        """All futile re-executions (conflict aborts + wake-up self-aborts)."""
+        return self.counters.get("tx.aborts.conflict", 0) + self.counters.get(
+            "tx.aborts.self", 0
+        )
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.counters.get("tx.attempts", 0)
+        return self.aborts / attempts if attempts else 0.0
+
+    @property
+    def wasted_cycles(self) -> int:
+        return self.counters.get("tx.wasted_cycles", 0)
+
+    def summary(self) -> str:
+        gating = "gated" if self.config.gating.enabled else "ungated"
+        return (
+            f"{self.workload}[{self.scale}] x{self.config.num_procs} "
+            f"({gating}): N={self.parallel_time} E={self.energy.total:.0f} "
+            f"commits={self.commits} aborts={self.aborts} "
+            f"(rate {self.abort_rate:.1%})"
+        )

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Makes ``tests`` a proper package so modules can use relative imports
+(``from .helpers import ...``) and ``python -m pytest`` collects
+cleanly regardless of the invocation directory.
+"""

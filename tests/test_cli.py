@@ -91,3 +91,60 @@ class TestCommands:
             "--cm", "momentum",
         )
         assert "Run report" in out
+
+
+class TestExecFlags:
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = ("sweep", "counter", "--scale", "tiny", "--procs", "2",
+                "--w0-values", "4", "16")
+        serial = run_cli(capsys, *argv, "--jobs", "1")
+        parallel = run_cli(capsys, *argv, "--jobs", "2")
+        assert parallel == serial
+
+    def test_sweep_cached_second_run(self, capsys, tmp_path):
+        argv = ("sweep", "counter", "--scale", "tiny", "--procs", "2",
+                "--w0-values", "4", "--cache-dir", str(tmp_path), "--progress")
+        first = run_cli(capsys, *argv)
+        code = main(list(argv))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "executed 0" in captured.err
+        assert "2 cache hit(s)" in captured.err
+
+    def test_no_cache_flag_re_executes(self, capsys, tmp_path):
+        argv = ("compare", "counter", "--scale", "tiny", "--procs", "2",
+                "--cache-dir", str(tmp_path))
+        run_cli(capsys, *argv)
+        assert main([*argv, "--no-cache", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "Eq. 6" in captured.out
+        assert "executed 2" in captured.err
+
+    def test_evaluate_with_workers(self, capsys):
+        out = run_cli(
+            capsys, "evaluate", "--scale", "tiny", "--grid", "2",
+            "--seed", "4", "--jobs", "2",
+        )
+        assert "Fig. 4" in out and "averages over 3 points" in out
+
+    def test_exec_status(self, capsys, tmp_path):
+        run_cli(
+            capsys, "sweep", "counter", "--scale", "tiny", "--procs", "2",
+            "--w0-values", "4", "--cache-dir", str(tmp_path),
+        )
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                      "--verbose")
+        assert "2 entries" in out
+        assert "counter: 2 cached run(s)" in out
+        assert "ungated" in out
+
+    def test_exec_status_empty_store(self, capsys, tmp_path):
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path))
+        assert "0 entries" in out
+
+    def test_exec_status_missing_dir_is_an_error(self, capsys, tmp_path):
+        missing = tmp_path / "typo-cahce"
+        assert main(["exec-status", "--cache-dir", str(missing)]) == 1
+        assert "no result store" in capsys.readouterr().err
+        assert not missing.exists()

@@ -1,0 +1,288 @@
+"""repro.exec: job digests, dedup, parallel bit-equality, result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ExecutionError
+from repro.exec.executor import Executor
+from repro.exec.jobs import SCHEMA_VERSION, ExecResult, RunJob, execute_job
+from repro.exec.progress import ConsoleProgress, ProgressListener
+from repro.exec.serialize import (
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.exec.store import ResultStore
+from repro.harness.runner import run_workload, workload
+from repro.harness.sweep import w0_sensitivity
+
+TINY = SystemConfig(num_procs=2, seed=1)
+
+
+def tiny_job(name: str = "counter", *, gated: bool = True, w0: int = 8,
+             seed: int = 1, procs: int = 2, cm: str = "gating-aware") -> RunJob:
+    config = SystemConfig(num_procs=procs, seed=seed).with_gating(
+        gated, w0=w0, contention_manager=cm
+    )
+    return RunJob(workload(name, scale="tiny", seed=seed), config)
+
+
+class TestDigests:
+    def test_digest_is_stable(self):
+        assert tiny_job().digest == tiny_job().digest
+
+    def test_digest_distinguishes_every_axis(self):
+        base = tiny_job()
+        variants = [
+            tiny_job(seed=2),
+            tiny_job(procs=4),
+            tiny_job(w0=16),
+            tiny_job(gated=False),
+            tiny_job("intruder"),
+        ]
+        digests = {base.digest} | {v.digest for v in variants}
+        assert len(digests) == 1 + len(variants)
+
+    def test_power_model_is_part_of_the_digest(self):
+        from repro.power.model import PowerModel
+
+        a = RunJob(workload("counter", scale="tiny"), TINY)
+        b = RunJob(workload("counter", scale="tiny"), TINY,
+                   power=PowerModel(gated=0.25))
+        assert a.digest != b.digest
+
+    def test_ungated_digest_collapses_w0_for_w0_independent_cm(self):
+        """One shared ungated baseline serves a whole W0 sweep."""
+        a = tiny_job(gated=False, w0=1)
+        b = tiny_job(gated=False, w0=32)
+        assert a.digest == b.digest
+        # ...and the collapse is empirically sound: identical numbers.
+        ra, rb = execute_job(a), execute_job(b)
+        da, db = result_to_dict(ra), result_to_dict(rb)
+        da.pop("config"), db.pop("config")  # echoes the submitted w0
+        assert da == db
+
+    def test_ungated_digest_keeps_w0_for_backoff_cms(self):
+        """Exponential back-off derives its ungated delay from w0."""
+        a = tiny_job(gated=False, w0=2, cm="exponential")
+        b = tiny_job(gated=False, w0=16, cm="exponential")
+        assert a.digest != b.digest
+
+    def test_gated_digest_never_collapses_w0(self):
+        assert tiny_job(w0=4).digest != tiny_job(w0=16).digest
+
+
+class TestSerialization:
+    def test_config_roundtrip(self):
+        config = TINY.with_gating(True, w0=3)
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_result_roundtrip_is_exact(self):
+        result = execute_job(tiny_job())
+        via_json = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert via_json == result
+        assert via_json.energy.total == result.energy.total
+
+    def test_exec_result_mirrors_run_result(self):
+        job = tiny_job()
+        direct = run_workload(job.spec, job.config, power_model=job.power)
+        condensed = execute_job(job)
+        assert condensed.parallel_time == direct.parallel_time
+        assert condensed.end_cycle == direct.end_cycle
+        assert condensed.energy.total == direct.energy.total
+        assert condensed.counters == direct.counters
+        assert condensed.commits == direct.commits
+        assert condensed.aborts == direct.aborts
+        assert condensed.summary() == direct.summary()
+
+
+class TestExecutor:
+    GRID = [
+        tiny_job("counter"),
+        tiny_job("counter", gated=False),
+        tiny_job("intruder"),
+        tiny_job("intruder", gated=False),
+    ]
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = Executor(jobs=1).run(self.GRID)
+        parallel = Executor(jobs=2).run(self.GRID)
+        assert [result_to_dict(r) for r in serial] == [
+            result_to_dict(r) for r in parallel
+        ]
+
+    def test_results_keep_submission_order(self):
+        results = Executor(jobs=2).run(self.GRID)
+        assert [r.workload for r in results] == [
+            "counter", "counter", "intruder", "intruder"
+        ]
+        assert [r.config.gating.enabled for r in results] == [
+            True, False, True, False
+        ]
+
+    def test_in_batch_dedup(self):
+        exe = Executor()
+        results = exe.run([self.GRID[0]] * 3 + [self.GRID[1]])
+        assert exe.last_report.total == 4
+        assert exe.last_report.executed == 2
+        assert exe.last_report.deduplicated == 2
+        assert result_to_dict(results[0]) == result_to_dict(results[1])
+
+    def test_baseline_dedup_across_w0_points(self):
+        """Ungated baselines at different W0 collapse to one execution."""
+        exe = Executor()
+        jobs = [tiny_job(gated=False, w0=w0) for w0 in (1, 4, 32)]
+        results = exe.run(jobs)
+        assert exe.last_report.executed == 1
+        # every caller still sees the config it submitted
+        assert [r.config.gating.w0 for r in results] == [1, 4, 32]
+
+    def test_worker_failure_is_wrapped(self):
+        bad = RunJob(workload("no-such-workload", scale="tiny"), TINY)
+        with pytest.raises(ExecutionError, match="no-such-workload"):
+            Executor(jobs=2).run([bad, tiny_job()])
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ExecutionError):
+            Executor(jobs=-1)
+
+    def test_progress_hooks_fire(self, capsys):
+        import sys
+
+        exe = Executor(progress=ConsoleProgress(stream=sys.stderr))
+        exe.run([self.GRID[0], self.GRID[0]])
+        err = capsys.readouterr().err
+        assert "2 job(s) -> 1 unique" in err
+        assert "executed 1 of 2 submitted" in err
+
+    def test_null_progress_is_silent(self, capsys):
+        Executor(progress=ProgressListener()).run([self.GRID[0]])
+        assert capsys.readouterr().err == ""
+
+
+class TestResultStore:
+    def test_cache_hit_miss_roundtrip(self, tmp_path):
+        job = tiny_job()
+        first = Executor(store=ResultStore(tmp_path))
+        fresh = first.run([job])
+        assert first.last_report.executed == 1
+
+        second = Executor(store=ResultStore(tmp_path))
+        cached = second.run([job])
+        assert second.last_report.executed == 0
+        assert second.last_report.cache_hits == 1
+        assert result_to_dict(cached[0]) == result_to_dict(fresh[0])
+
+    def test_changed_parameters_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([tiny_job()])
+        exe = Executor(store=store)
+        exe.run([tiny_job(seed=2)])
+        assert exe.last_report.executed == 1
+
+    def test_invalidation_forces_reexecution(self, tmp_path):
+        job = tiny_job()
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([job])
+        assert store.invalidate(job.digest)
+        assert job.digest not in store
+        exe = Executor(store=store)
+        exe.run([job])
+        assert exe.last_report.executed == 1
+        # tombstone survives a reload of the same directory
+        assert tiny_job().digest in ResultStore(tmp_path)
+
+    def test_refresh_skips_reads_but_writes(self, tmp_path):
+        job = tiny_job()
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([job])
+        exe = Executor(store=store, refresh=True)
+        exe.run([job])
+        assert exe.last_report.executed == 1
+        assert len(store) == 1
+
+    def test_corrupt_and_foreign_schema_lines_skipped(self, tmp_path):
+        job = tiny_job()
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([job])
+        with store.path.open("a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"digest": "x", "schema": SCHEMA_VERSION + 1,
+                                 "result": {}}) + "\n")
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.stats().skipped_records == 2
+        assert reloaded.get(job.digest) is not None
+
+    def test_clear_and_compact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([tiny_job(), tiny_job(gated=False)])
+        store.invalidate(tiny_job().digest)
+        store.compact()
+        assert len(ResultStore(tmp_path)) == 1
+        assert store.clear() == 1
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_completed_results_survive_batch_failure(self, tmp_path):
+        """Write-through: work done before a failing job is not lost."""
+        store = ResultStore(tmp_path)
+        good = tiny_job()
+        bad = RunJob(workload("no-such-workload", scale="tiny"), TINY)
+        with pytest.raises(ExecutionError):
+            Executor(store=store).run([good, bad])
+        assert good.digest in store
+        exe = Executor(store=ResultStore(tmp_path))
+        exe.run([good])
+        assert exe.last_report.cache_hits == 1
+
+    def test_stats_summary_renders(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([tiny_job()])
+        text = store.stats().summary()
+        assert "1 entries" in text
+        assert f"schema v{SCHEMA_VERSION}" in text
+
+
+class TestSweepIntegration:
+    """The acceptance criterion: a cached sweep re-runs nothing."""
+
+    def test_w0_sweep_is_fully_cached_on_second_run(self, tmp_path):
+        spec = workload("counter", scale="tiny", seed=2)
+        config = SystemConfig(num_procs=2, seed=2)
+        w0_values = (2, 8)
+
+        exe1 = Executor(store=ResultStore(tmp_path))
+        first = w0_sensitivity(spec, config, w0_values, executor=exe1)
+        assert exe1.last_report.executed == 1 + len(w0_values)
+
+        exe2 = Executor(jobs=2, store=ResultStore(tmp_path))
+        second = w0_sensitivity(spec, config, w0_values, executor=exe2)
+        assert exe2.last_report.executed == 0
+        assert exe2.last_report.cache_hits == 1 + len(w0_values)
+        assert first == second
+
+    def test_sweep_matches_legacy_serial_path(self):
+        """Executor-backed sweep == direct run_workload loop, exactly."""
+        spec = workload("counter", scale="tiny", seed=2)
+        config = SystemConfig(num_procs=2, seed=2)
+        curves = w0_sensitivity(spec, config, (4, 16), executor=Executor(jobs=2))
+
+        baseline = run_workload(spec, config.with_gating(False))
+        for w0 in (4, 16):
+            gated = run_workload(spec, config.with_gating(True).with_w0(w0))
+            point = curves[w0]
+            assert point["n1"] == float(baseline.parallel_time)
+            assert point["n2"] == float(gated.parallel_time)
+            assert point["speedup"] == (
+                baseline.parallel_time / gated.parallel_time
+            )
+            assert point["energy_reduction"] == (
+                baseline.energy.total / gated.energy.total
+            )

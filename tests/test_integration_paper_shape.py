@@ -39,10 +39,7 @@ class TestHighContentionSavings:
         assert intruder16.gated.aborts < intruder16.ungated.aborts
 
     def test_gated_state_time_is_significant(self, intruder16):
-        gated_cycles = sum(
-            tl.durations().get(ProcState.GATED, 0)
-            for tl in intruder16.gated.machine_result.timelines
-        )
+        gated_cycles = intruder16.gated.energy.state_cycles(ProcState.GATED)
         total = (
             intruder16.gated.parallel_time * intruder16.gated.config.num_procs
         )
