@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# End-to-end smoke: one W0 sweep through the parallel executor with the
-# result cache, run twice — the second run must perform ZERO simulation
-# re-executions (the ISSUE acceptance criterion), and exec-status must
-# see the cached entries.  Run from the repo root (or via `make smoke`).
+# End-to-end smoke: one W0 sweep AND one named scenario suite through
+# the parallel executor with the result cache, each run twice — the
+# second pass must perform ZERO simulation re-executions (the ISSUE
+# acceptance criteria), and exec-status must see the cached entries.
+# Run from the repo root (or via `make smoke`).
 set -euo pipefail
 
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -30,6 +31,22 @@ status=$(python -m repro exec-status --cache-dir "$CACHE_DIR")
 echo "$status"
 echo "$status" | grep -q "3 entries"
 
-rm -f cold.err warm.err
+echo "== smoke: named suite, cold (expand -> exec cache) =="
+SUITE=(suite run --suite smoke --jobs 2 --cache-dir "$CACHE_DIR/suite"
+       --progress)
+suite_cold=$(python -m repro "${SUITE[@]}" 2>suite_cold.err)
+cat suite_cold.err
+grep -q "executed 3 of 4 submitted" suite_cold.err  # 4 scenarios, 1 deduplicated
+
+echo "== smoke: named suite, warm (must be pure cache hits) =="
+suite_warm=$(python -m repro "${SUITE[@]}" 2>suite_warm.err)
+cat suite_warm.err
+grep -q "executed 0 of 4 submitted" suite_warm.err
+grep -q "3 cache hit(s)" suite_warm.err
+
+[ "$suite_cold" = "$suite_warm" ] || {
+  echo "smoke FAILED: cached suite output differs"; exit 1; }
+
+rm -f cold.err warm.err suite_cold.err suite_warm.err
 rm -rf "$CACHE_DIR"
-echo "smoke OK: parallel sweep cached end-to-end, zero re-executions"
+echo "smoke OK: sweep + suite cached end-to-end, zero re-executions"

@@ -118,6 +118,13 @@ __all__ = [
     "RunJob",
     "ExecResult",
     "ResultStore",
+    # declarative scenarios (populated below)
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "scenario",
+    "run_suite",
+    "get_suite",
+    "available_suites",
     "__version__",
 ]
 
@@ -131,3 +138,11 @@ from .harness import (  # noqa: E402
     workload,
 )
 from .exec import ExecResult, Executor, ResultStore, RunJob  # noqa: E402
+from .scenarios import (  # noqa: E402
+    ScenarioSpec,
+    ScenarioSuite,
+    available_suites,
+    get_suite,
+    run_suite,
+    scenario,
+)

@@ -6,8 +6,9 @@ Commands
 ``compare``     paired with/without-gating comparison (Figs. 4–6 metrics)
 ``evaluate``    the paper's evaluation grid + Section VIII averages
 ``sweep``       Fig. 7 W0 sensitivity for one workload
+``suite``       declarative scenario suites: ``list``, ``describe``, ``run``
 ``cache-power`` the Fig. 3 TCC-cache power analysis
-``exec-status`` inspect a result-cache directory (entries, sizes, labels)
+``exec-status`` inspect (or ``--prune``) a result-cache directory
 ``list``        available workloads and contention managers
 
 Execution control (``compare``, ``evaluate``, ``sweep``)
@@ -40,8 +41,10 @@ from .harness.runner import run_workload, workload
 from .harness.sweep import DEFAULT_W0_VALUES, w0_sensitivity
 from .power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve, tcc_total_power_factor
 from .power.report import format_energy_report
+from .scenarios.builtin import available_suites, get_suite, suite_help
+from .scenarios.runner import SuiteRun, run_suite
 from .sim.trace import TraceRecorder
-from .workloads.registry import available_workloads
+from .workloads.registry import available_workloads, workload_schema
 
 __all__ = ["main", "build_parser"]
 
@@ -121,6 +124,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--w0-values", type=int, nargs="+",
                          default=list(DEFAULT_W0_VALUES))
 
+    p_suite = sub.add_parser(
+        "suite", help="declarative scenario suites (list/describe/run)"
+    )
+    suite_sub = p_suite.add_subparsers(dest="action", required=True)
+    suite_sub.add_parser("list", help="named suites with sizes")
+    p_sdesc = suite_sub.add_parser(
+        "describe", help="axes, expansion and per-scenario digests"
+    )
+    p_sdesc.add_argument("--suite", required=True, metavar="NAME")
+    p_sdesc.add_argument("--scale", choices=("tiny", "small", "medium"),
+                         help="override the suite's default scale")
+    p_sdesc.add_argument("--seed", type=int, default=0)
+    p_sdesc.add_argument("--json", action="store_true",
+                         help="emit the expanded scenario specs as JSON")
+    p_srun = suite_sub.add_parser(
+        "run", help="expand a suite and execute it through the exec cache"
+    )
+    p_srun.add_argument("--suite", required=True, metavar="NAME")
+    p_srun.add_argument("--scale", choices=("tiny", "small", "medium"),
+                        help="override the suite's default scale")
+    p_srun.add_argument("--seed", type=int, default=0)
+    _add_exec(p_srun)
+
     sub.add_parser("cache-power", help="Fig. 3 TCC-cache power analysis")
 
     p_status = sub.add_parser(
@@ -129,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--cache-dir", required=True, metavar="PATH")
     p_status.add_argument("--verbose", action="store_true",
                           help="list every cached run")
+    p_status.add_argument("--prune", action="store_true",
+                          help="compact tombstoned/corrupt/stale lines "
+                               "out of the JSONL log")
 
     sub.add_parser("list", help="available workloads and policies")
     return parser
@@ -214,6 +243,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(format_table(
+            ["suite", "scenarios", "description"],
+            suite_help(),
+            title="Named scenario suites",
+        ))
+        return 0
+
+    named = get_suite(args.suite, scale=args.scale, seed=args.seed)
+    if args.action == "describe":
+        specs = named.expand()
+        if args.json:
+            import json as _json
+
+            print(_json.dumps([spec.to_dict() for spec in specs], indent=2))
+            return 0
+        print(named.describe())
+        unique_jobs = len({spec.to_job().digest for spec in specs})
+        print(f"  unique jobs after dedup: {unique_jobs}")
+        for spec in specs:
+            print(f"  {spec.digest[:12]}  {spec.label()}")
+        return 0
+
+    # action == "run"
+    outcome = run_suite(named, executor=_executor(args))
+    print(format_table(
+        list(SuiteRun.ROW_HEADERS),
+        outcome.rows(),
+        title=f"suite {named.name} — {len(outcome)} scenario(s)",
+    ))
+    paired = outcome.paired_rows()
+    if paired:
+        print()
+        print(format_table(
+            list(SuiteRun.PAIRED_HEADERS),
+            paired,
+            title="gated vs ungated pairs",
+        ))
+    if outcome.report is not None:
+        # stderr, like the progress layer: stdout stays bit-identical
+        # between a cold run and a pure-cache-hit re-run.
+        print(outcome.report.summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_cache_power(_args: argparse.Namespace) -> int:
     values = {
         f"{size}KB": dict(tcc_cache_power_curve(size))
@@ -239,6 +314,8 @@ def _cmd_exec_status(args: argparse.Namespace) -> int:
         print(f"no result store at {args.cache_dir}", file=sys.stderr)
         return 1
     store = ResultStore(args.cache_dir)
+    if args.prune:
+        print(store.prune().summary())
     stats = store.stats()
     print(stats.summary())
     by_workload: dict[str, int] = {}
@@ -256,9 +333,13 @@ def _cmd_exec_status(args: argparse.Namespace) -> int:
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for name in available_workloads():
-        print(f"  {name}")
+        params = ", ".join(workload_schema(name).names()) or "(none)"
+        print(f"  {name}  [{params}]")
     print("contention managers:")
     for name in available_cms():
+        print(f"  {name}")
+    print("scenario suites (see `suite list`):")
+    for name in available_suites():
         print(f"  {name}")
     return 0
 
@@ -268,6 +349,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "suite": _cmd_suite,
     "cache-power": _cmd_cache_power,
     "exec-status": _cmd_exec_status,
     "list": _cmd_list,

@@ -37,7 +37,7 @@ the ``exec-status`` subcommand.
 from .executor import BatchReport, Executor
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob, execute_job
 from .progress import ConsoleProgress, NullProgress, ProgressListener
-from .store import ResultStore, StoreStats
+from .store import PruneReport, ResultStore, StoreStats
 
 __all__ = [
     "RunJob",
@@ -48,6 +48,7 @@ __all__ = [
     "BatchReport",
     "ResultStore",
     "StoreStats",
+    "PruneReport",
     "ProgressListener",
     "NullProgress",
     "ConsoleProgress",

@@ -25,9 +25,25 @@ from ..errors import ExecutionError
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob
 from .serialize import result_from_dict, result_to_dict
 
-__all__ = ["ResultStore", "StoreStats"]
+__all__ = ["ResultStore", "StoreStats", "PruneReport"]
 
 _FILENAME = "results.jsonl"
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of one :meth:`ResultStore.prune` pass."""
+
+    entries: int
+    lines_dropped: int
+    bytes_reclaimed: int
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.lines_dropped} dead line(s) "
+            f"({self.bytes_reclaimed} bytes reclaimed); "
+            f"{self.entries} live entries kept"
+        )
 
 
 @dataclass(frozen=True)
@@ -142,6 +158,28 @@ class ResultStore:
         with self.path.open("w", encoding="utf-8") as fh:
             for record in self._index.values():
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def prune(self) -> "PruneReport":
+        """Compact the log and report what was dropped.
+
+        The append-only log otherwise only grows: invalidations leave
+        the dead record *and* a tombstone line behind, crashed appends
+        leave unparseable fragments, and schema bumps strand whole
+        generations of records.  Pruning rewrites the file with exactly
+        the live index — every live result survives byte-for-byte.
+        """
+        lines_before = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                lines_before = sum(1 for line in fh if line.strip())
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        self.compact()
+        self._skipped = 0  # the skipped records are gone from the file now
+        return PruneReport(
+            entries=len(self._index),
+            lines_dropped=lines_before - len(self._index),
+            bytes_reclaimed=bytes_before - self.path.stat().st_size,
+        )
 
     # ------------------------------------------------------------------
     def __contains__(self, digest: str) -> bool:

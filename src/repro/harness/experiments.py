@@ -25,7 +25,6 @@ from typing import Sequence
 
 from ..config import GatingConfig, SystemConfig
 from ..exec.executor import Executor
-from ..exec.jobs import RunJob
 from ..power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve
 from ..power.model import PowerModel
 from ..workloads.registry import PAPER_APPS
@@ -39,11 +38,15 @@ __all__ = ["EvaluationSuite"]
 class EvaluationSuite:
     """Runs and caches the paper's evaluation grid.
 
-    With an ``executor``, whole figure grids are submitted as one job
-    batch through :mod:`repro.exec` — fanning across worker processes,
-    sharing the ungated baselines between the Fig. 4–6 comparisons and
-    the Fig. 7 sweeps via content-digest dedup, and answering repeat
-    evaluations from the executor's result store.
+    The grid itself is declarative: :meth:`scenario_suite` exposes the
+    Fig. 4–6 matrix as a :class:`~repro.scenarios.suite.ScenarioSuite`
+    (the same object behind ``repro suite run --suite paper-eval``) and
+    :meth:`run_all` executes its expansion.  With an ``executor``,
+    whole figure grids are submitted as one job batch through
+    :mod:`repro.exec` — fanning across worker processes, sharing the
+    ungated baselines between the Fig. 4–6 comparisons and the Fig. 7
+    sweeps via content-digest dedup, and answering repeat evaluations
+    from the executor's result store.
     """
 
     def __init__(
@@ -92,36 +95,69 @@ class EvaluationSuite:
             )
         return self._comparisons[key]
 
+    def scenario_suite(self):
+        """The Figs. 4–6 grid as a declarative scenario suite.
+
+        Axis order (workload, threads, gating) matches :meth:`run_all`'s
+        historical submission order, so the expanded grid lowers to the
+        same job batch.
+        """
+        from ..scenarios.spec import ScenarioSpec
+        from ..scenarios.suite import suite
+
+        base = ScenarioSpec.from_workload_config(
+            self._spec(self.apps[0]), self._config(self.procs[0])
+        )
+        return suite(
+            "paper-eval",
+            base,
+            axes={
+                "workload": self.apps,
+                "threads": self.procs,
+                "gating": (False, True),
+            },
+            description="Figs. 4-6: every evaluation point, both gating modes",
+        )
+
     def run_all(self) -> None:
         """Force-run the whole grid as ONE executor batch.
 
-        Submitting every (app × procs × gating) run together lets the
-        executor fan the grid across its workers and deduplicate any
-        shared runs; results land in the same per-point comparison
-        cache that :meth:`comparison` fills lazily.
+        The grid comes from :meth:`scenario_suite`; submitting every
+        (app × procs × gating) scenario together lets the executor fan
+        the expansion across its workers and deduplicate any shared
+        runs.  Results land in the same per-point comparison cache that
+        :meth:`comparison` fills lazily.
         """
-        missing = [
+        from ..scenarios.runner import run_specs
+
+        missing = {
             (app, num_procs)
             for app in self.apps
             for num_procs in self.procs
             if (app, num_procs) not in self._comparisons
-        ]
+        }
         if not missing:
             return
-        jobs: list[RunJob] = []
-        for app, num_procs in missing:
-            spec = self._spec(app)
-            config = self._config(num_procs)
-            jobs.append(RunJob(spec, config.with_gating(False), self._model))
-            jobs.append(RunJob(spec, config.with_gating(True), self._model))
-        results = self._exec.run(jobs)
-        for index, (app, num_procs) in enumerate(missing):
-            ungated, gated = results[2 * index], results[2 * index + 1]
+        specs = [
+            spec
+            for spec in self.scenario_suite().expand()
+            if (spec.workload, spec.threads) in missing
+        ]
+        results = run_specs(
+            specs, executor=self._exec, power_model=self._model
+        )
+        by_point: dict[tuple[str, int], dict[bool, object]] = {}
+        for entry in results:
+            point = by_point.setdefault(
+                (entry.spec.workload, entry.spec.threads), {}
+            )
+            point[entry.spec.gating] = entry.result
+        for (app, num_procs), pair in by_point.items():
             self._comparisons[(app, num_procs)] = GatingComparison(
-                workload=ungated.workload,
+                workload=app,
                 num_procs=num_procs,
-                ungated=ungated,
-                gated=gated,
+                ungated=pair[False],
+                gated=pair[True],
             )
 
     # ------------------------------------------------------------------

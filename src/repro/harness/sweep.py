@@ -6,12 +6,15 @@ contention-management constant :math:`W_0` and the processor count
 each (workload, Np) point runs one baseline plus one gated run per
 :math:`W_0` value.
 
-All sweeps submit their runs as :class:`~repro.exec.jobs.RunJob`
-batches through an :class:`~repro.exec.executor.Executor`, so they
-parallelize across worker processes (``executor=Executor(jobs=N)``),
-deduplicate shared baselines, and answer repeat sweeps from an attached
-:class:`~repro.exec.store.ResultStore` without re-simulating.  Passing
-no executor preserves the historical serial, uncached behaviour.
+All sweeps are *spec-driven*: each (workload, config) point is
+re-expressed as :class:`~repro.scenarios.spec.ScenarioSpec` values
+(baseline + one gated spec per :math:`W_0`) and the whole grid runs
+through :func:`~repro.scenarios.runner.run_specs` as one executor
+batch — parallel workers (``executor=Executor(jobs=N)``), shared
+baselines deduplicated by job digest, repeat sweeps answered from an
+attached :class:`~repro.exec.store.ResultStore` without re-simulating.
+Passing no executor preserves the historical serial, uncached
+behaviour.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from typing import Sequence
 
 from ..config import SystemConfig
 from ..exec.executor import Executor
-from ..exec.jobs import ExecResult, RunJob
+from ..exec.jobs import ExecResult
 from ..power.energy import average_power_reduction, energy_reduction
 from ..power.model import PowerModel
 from .runner import WorkloadSpec
@@ -68,18 +71,25 @@ def w0_sensitivity_grid(
     collapse to one execution, and results come back grouped per point
     in submission order.
     """
+    # Lazy: repro.scenarios builds on the harness; importing it here
+    # (like repro.exec does for the runner) avoids a package cycle.
+    from ..scenarios.runner import run_specs
+    from ..scenarios.spec import ScenarioSpec
+
     exe = executor if executor is not None else Executor()
     model = power_model if power_model is not None else PowerModel.derive()
 
-    jobs: list[RunJob] = []
+    specs: list[ScenarioSpec] = []
     for source, config in points:
-        spec = _as_spec(source)
-        jobs.append(RunJob(spec, config.with_gating(False), model))
-        jobs.extend(
-            RunJob(spec, config.with_gating(True).with_w0(w0), model)
-            for w0 in w0_values
+        base = ScenarioSpec.from_workload_config(_as_spec(source), config)
+        specs.append(base.with_updates(gating=False))
+        specs.extend(
+            base.with_updates(gating=True, w0=w0) for w0 in w0_values
         )
-    results = exe.run(jobs)
+    results = [
+        entry.result
+        for entry in run_specs(specs, executor=exe, power_model=model)
+    ]
 
     curves: list[dict[int, dict[str, float]]] = []
     stride = 1 + len(w0_values)
@@ -123,12 +133,20 @@ def proc_scaling(
     executor: Executor | None = None,
 ) -> dict[int, ExecResult]:
     """Parallel-time scaling of one configuration across core counts."""
+    from ..scenarios.runner import run_specs
+    from ..scenarios.spec import ScenarioSpec
+
     spec = _as_spec(source)
     exe = executor if executor is not None else Executor()
     model = power_model if power_model is not None else PowerModel.derive()
-    configs = [
-        dataclasses.replace(base_config, num_procs=num_procs)
+    scenarios = [
+        ScenarioSpec.from_workload_config(
+            spec, dataclasses.replace(base_config, num_procs=num_procs)
+        )
         for num_procs in proc_counts
     ]
-    results = exe.run([RunJob(spec, config, model) for config in configs])
+    results = [
+        entry.result
+        for entry in run_specs(scenarios, executor=exe, power_model=model)
+    ]
     return dict(zip(proc_counts, results))

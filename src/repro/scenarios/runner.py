@@ -1,0 +1,169 @@
+"""Suite execution: lower scenarios to jobs, run them through the cache.
+
+The runner is a thin, deterministic bridge between the declarative
+layer and :mod:`repro.exec`: every spec lowers to a
+:class:`~repro.exec.jobs.RunJob`, the whole list goes to the executor
+as ONE batch (so shared baselines deduplicate across the entire suite
+and the result store answers repeat runs with zero simulations), and
+results come back paired with the spec that requested them, in
+submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exec.executor import BatchReport, Executor
+from ..exec.jobs import ExecResult
+from ..power.model import PowerModel
+from .spec import ScenarioSpec
+from .suite import ScenarioSuite
+
+__all__ = ["ScenarioResult", "SuiteRun", "run_specs", "run_suite"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One executed scenario: what was asked, and what came back."""
+
+    spec: ScenarioSpec
+    result: ExecResult
+
+
+@dataclass
+class SuiteRun:
+    """Everything one suite execution produced."""
+
+    suite: ScenarioSuite
+    results: list[ScenarioResult]
+    report: BatchReport | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[tuple]:
+        """One flat row per scenario, ready for table rendering."""
+        rows = []
+        for entry in self.results:
+            spec, result = entry.spec, entry.result
+            rows.append(
+                (
+                    spec.workload,
+                    spec.scale,
+                    spec.threads,
+                    "gated" if spec.gating else "ungated",
+                    spec.w0,
+                    spec.cm,
+                    result.parallel_time,
+                    round(result.energy.total, 1),
+                    result.commits,
+                    result.aborts,
+                )
+            )
+        return rows
+
+    ROW_HEADERS = (
+        "workload", "scale", "threads", "mode", "W0", "cm",
+        "N", "energy", "commits", "aborts",
+    )
+
+    def paired_rows(self) -> list[tuple]:
+        """Gated/ungated pairs with the paper's three reduction metrics.
+
+        A gated scenario pairs with the ungated scenario that is
+        identical in every other spec field (same W0 point first, any
+        W0 otherwise — ungated runs do not depend on W0 for the CMs
+        that declare so).  Suites without such pairs return [].
+        """
+        from ..power.energy import average_power_reduction, energy_reduction
+
+        ungated: dict[tuple, ScenarioResult] = {}
+        for entry in self.results:
+            if not entry.spec.gating:
+                ungated[self._pair_key(entry.spec, with_w0=True)] = entry
+                ungated.setdefault(
+                    self._pair_key(entry.spec, with_w0=False), entry
+                )
+        rows = []
+        for entry in self.results:
+            if not entry.spec.gating:
+                continue
+            baseline = ungated.get(
+                self._pair_key(entry.spec, with_w0=True)
+            ) or ungated.get(self._pair_key(entry.spec, with_w0=False))
+            if baseline is None:
+                continue
+            n1 = baseline.result.parallel_time
+            n2 = entry.result.parallel_time
+            rows.append(
+                (
+                    entry.spec.workload,
+                    entry.spec.threads,
+                    entry.spec.w0,
+                    round(n1 / n2, 3),
+                    round(
+                        energy_reduction(
+                            baseline.result.energy, entry.result.energy
+                        ),
+                        3,
+                    ),
+                    round(
+                        average_power_reduction(
+                            baseline.result.energy, entry.result.energy
+                        ),
+                        3,
+                    ),
+                )
+            )
+        return rows
+
+    PAIRED_HEADERS = (
+        "workload", "threads", "W0", "speed-up", "energy red.", "power red.",
+    )
+
+    @staticmethod
+    def _pair_key(spec: ScenarioSpec, with_w0: bool) -> tuple:
+        return (
+            spec.workload,
+            spec.scale,
+            spec.threads,
+            spec.seed,
+            spec.params,
+            spec.cm,
+            spec.system,
+            spec.w0 if with_w0 else None,
+        )
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    executor: Executor | None = None,
+    power_model: PowerModel | None = None,
+    validate: bool = True,
+) -> list[ScenarioResult]:
+    """Execute scenarios as one batch; results in submission order."""
+    exe = executor if executor is not None else Executor()
+    model = power_model if power_model is not None else PowerModel.derive()
+    jobs = [spec.to_job(power=model, validate=validate) for spec in specs]
+    results = exe.run(jobs)
+    return [
+        ScenarioResult(spec=spec, result=result)
+        for spec, result in zip(specs, results)
+    ]
+
+
+def run_suite(
+    suite: ScenarioSuite,
+    executor: Executor | None = None,
+    power_model: PowerModel | None = None,
+    validate: bool = True,
+) -> SuiteRun:
+    """Expand and execute a whole suite through one executor batch."""
+    exe = executor if executor is not None else Executor()
+    results = run_specs(
+        suite.expand(), executor=exe, power_model=power_model,
+        validate=validate,
+    )
+    return SuiteRun(suite=suite, results=results, report=exe.last_report)

@@ -1,0 +1,382 @@
+"""One evaluation scenario as a validatable, serializable value.
+
+A :class:`ScenarioSpec` names everything that defines one simulation
+run *declaratively*: the workload (name + schema-validated parameter
+overrides + scale + seed), the machine shape (thread count + dotted
+:class:`~repro.config.SystemConfig` overrides), and the
+contention-management choice (gating switch, :math:`W_0`, policy name).
+Unlike :class:`~repro.exec.jobs.RunJob` — which carries live config and
+power-model objects — a spec is plain data: it round-trips exactly
+through JSON, has a stable content digest, and validates completely
+(workload exists, parameters typed, config keys real) *before* any
+simulation runs.
+
+Lowering: :meth:`ScenarioSpec.to_job` produces the ``RunJob`` the
+executor actually runs; :meth:`ScenarioSpec.from_workload_config` goes
+the other way, diffing a concrete ``SystemConfig`` against the defaults
+so existing harness entry points can re-express their grids as specs.
+
+System overrides use dotted paths into the config dataclasses
+(``"memory.latency"``, ``"cache.ways"``, ``"num_dirs"``).  The fields
+owned by first-class spec attributes — ``num_procs`` (= ``threads``)
+and the gating switch/W0/policy — are rejected as dotted keys so a spec
+has exactly one spelling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from ..config import SystemConfig
+from ..errors import WorkloadError
+from ..exec.serialize import canonical_json
+from ..harness.runner import WorkloadSpec
+from ..power.model import PowerModel
+from ..workloads.base import SCALES
+
+__all__ = ["SCENARIO_SCHEMA_VERSION", "ScenarioSpec", "scenario"]
+
+#: bump when the spec payload layout changes incompatibly
+SCENARIO_SCHEMA_VERSION = 1
+
+#: dotted system-override keys shadowed by first-class spec fields
+_SHADOWED_KEYS = {
+    "num_procs": "threads",
+    "gating.enabled": "gating",
+    "gating.w0": "w0",
+    "gating.contention_manager": "cm",
+}
+
+#: SystemConfig fields holding nested config dataclasses
+_SECTIONS = ("cache", "bus", "directory", "memory", "commit", "gating")
+
+
+def _sorted_items(mapping: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One (workload × machine × contention management) scenario."""
+
+    workload: str
+    scale: str = "small"
+    threads: int = 4
+    seed: int = 0
+    #: schema-validated workload parameter overrides, sorted by name
+    params: tuple[tuple[str, Any], ...] = ()
+    gating: bool = True
+    w0: int = 8
+    cm: str = "gating-aware"
+    #: dotted SystemConfig overrides, sorted by path
+    system: tuple[tuple[str, Any], ...] = ()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Check every field against the live registries; returns self.
+
+        Raises :class:`~repro.errors.WorkloadError` (unknown workload,
+        bad parameter, unknown scale), :class:`~repro.errors.ConfigError`
+        (bad contention manager or config value) — always *before* any
+        simulation work.
+        """
+        from ..cm.registry import create_cm
+        from ..workloads.registry import workload_schema
+
+        self._check_field_types()
+        if self.scale not in SCALES:
+            raise WorkloadError(
+                f"unknown scale {self.scale!r}; choose from {sorted(SCALES)}"
+            )
+        if self.threads < 1:
+            raise WorkloadError(f"thread count must be positive: {self.threads}")
+        workload_schema(self.workload).validate(dict(self.params))
+        config = self.system_config()  # validates dotted keys + values
+        create_cm(config.gating, config.seed)  # validates the CM name
+        return self
+
+    def _check_field_types(self) -> None:
+        """Type-check the first-class fields (JSON is untyped on entry).
+
+        ``"4"`` for ``threads`` or ``"false"`` for ``gating`` must fail
+        loudly here — a truthy string silently running a scenario gated
+        is exactly the spec mistake this layer exists to catch.
+        """
+        for name, expected in (
+            ("workload", str), ("scale", str), ("cm", str),
+        ):
+            if not isinstance(getattr(self, name), str):
+                raise WorkloadError(
+                    f"scenario field {name!r} expects a string, got "
+                    f"{type(getattr(self, name)).__name__} "
+                    f"({getattr(self, name)!r})"
+                )
+        for name in ("threads", "seed", "w0"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise WorkloadError(
+                    f"scenario field {name!r} expects an integer, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+        if not isinstance(self.gating, bool):
+            raise WorkloadError(
+                f"scenario field 'gating' expects a boolean, got "
+                f"{type(self.gating).__name__} ({self.gating!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=self.workload,
+            scale=self.scale,
+            seed=self.seed,
+            overrides=_sorted_items(dict(self.params)),
+        )
+
+    def system_config(self) -> SystemConfig:
+        """Build the concrete machine configuration this spec names."""
+        base = SystemConfig(num_procs=self.threads, seed=self.seed)
+        sections: dict[str, dict[str, Any]] = {}
+        scalars: dict[str, Any] = {}
+        for key, value in self.system:
+            self._check_system_key(key)
+            if "." in key:
+                section, attr = key.split(".", 1)
+                sections.setdefault(section, {})[attr] = value
+            else:
+                scalars[key] = value
+        gating_overrides = sections.pop("gating", {})
+        updates: dict[str, Any] = dict(scalars)
+        for section, attrs in sections.items():
+            updates[section] = replace(getattr(base, section), **attrs)
+        updates["gating"] = replace(
+            base.gating,
+            enabled=self.gating,
+            w0=self.w0,
+            contention_manager=self.cm,
+            **gating_overrides,
+        )
+        return replace(base, **updates)
+
+    @staticmethod
+    def _check_system_key(key: str) -> None:
+        if key in _SHADOWED_KEYS:
+            raise WorkloadError(
+                f"system override {key!r} shadows the spec field "
+                f"{_SHADOWED_KEYS[key]!r}; set that field instead"
+            )
+        top_fields = {f.name for f in fields(SystemConfig)}
+        if "." in key:
+            section, attr = key.split(".", 1)
+            if section not in _SECTIONS or "." in attr:
+                raise WorkloadError(
+                    f"unknown system override {key!r}; sections: "
+                    f"{', '.join(_SECTIONS)}"
+                )
+            section_type = type(getattr(SystemConfig(), section))
+            if attr not in {f.name for f in fields(section_type)}:
+                raise WorkloadError(
+                    f"unknown system override {key!r}; {section} fields: "
+                    f"{', '.join(f.name for f in fields(section_type))}"
+                )
+        elif key in _SECTIONS:
+            raise WorkloadError(
+                f"system override {key!r} names a whole config section; "
+                f"override individual fields as {key!r}.<field>"
+            )
+        elif key not in top_fields:
+            raise WorkloadError(
+                f"unknown system override {key!r}; top-level fields: "
+                f"{', '.join(sorted(top_fields - {'num_procs'} - set(_SECTIONS)))}"
+            )
+
+    def to_job(
+        self,
+        power: PowerModel | None = None,
+        validate: bool = True,
+    ) -> "Any":
+        """Lower to the :class:`~repro.exec.jobs.RunJob` the executor runs."""
+        from ..exec.jobs import RunJob
+
+        model = power if power is not None else PowerModel.derive()
+        return RunJob(
+            spec=self.workload_spec(),
+            config=self.system_config(),
+            power=model,
+            validate=validate,
+        )
+
+    # ------------------------------------------------------------------
+    # identity / serialization
+    # ------------------------------------------------------------------
+    def payload(self) -> dict[str, Any]:
+        """Canonical plain-data content (the digest input)."""
+        return {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "workload": self.workload,
+            "scale": self.scale,
+            "threads": self.threads,
+            "seed": self.seed,
+            "params": {key: value for key, value in self.params},
+            "gating": self.gating,
+            "w0": self.w0,
+            "cm": self.cm,
+            "system": {key: value for key, value in self.system},
+        }
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content digest (hex) of the canonical payload.
+
+        This is the *scenario* identity (what was asked for).  Distinct
+        scenario digests may still lower to one :class:`RunJob` digest —
+        e.g. ungated specs differing only in :math:`W_0` — which is
+        exactly how suites share baselines through the executor.
+        """
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode()
+        ).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
+        if schema != SCENARIO_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"scenario schema v{schema} not supported "
+                f"(current: v{SCENARIO_SCHEMA_VERSION})"
+            )
+        known = {
+            "schema", "workload", "scale", "threads", "seed", "params",
+            "gating", "w0", "cm", "system",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise WorkloadError(
+                f"unknown scenario field(s): {', '.join(unknown)}"
+            )
+        if "workload" not in data:
+            raise WorkloadError("scenario is missing the workload name")
+        return cls(
+            workload=data["workload"],
+            scale=data.get("scale", "small"),
+            threads=data.get("threads", 4),
+            seed=data.get("seed", 0),
+            params=_sorted_items(data.get("params")),
+            gating=data.get("gating", True),
+            w0=data.get("w0", 8),
+            cm=data.get("cm", "gating-aware"),
+            system=_sorted_items(data.get("system")),
+        ).validate()
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise WorkloadError(f"invalid scenario JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise WorkloadError("scenario JSON must be an object")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes: Any) -> "ScenarioSpec":
+        """Copy with field changes; ``params``/``system`` accept dicts
+        that are *merged* into (not substituted for) the current pairs."""
+        for key in ("params", "system"):
+            if key in changes and isinstance(changes[key], Mapping):
+                merged = dict(getattr(self, key))
+                merged.update(changes[key])
+                changes[key] = _sorted_items(merged)
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_workload_config(
+        cls, spec: WorkloadSpec, config: SystemConfig
+    ) -> "ScenarioSpec":
+        """Re-express a (workload spec, concrete config) pair as a scenario.
+
+        Non-default configuration fields become dotted ``system``
+        overrides, so ``from_workload_config(s, c).system_config() == c``
+        and the harness's existing grids lower to identical jobs.
+        """
+        default = SystemConfig()
+        system: dict[str, Any] = {}
+        for name in ("num_dirs", "max_cycles"):
+            if getattr(config, name) != getattr(default, name):
+                system[name] = getattr(config, name)
+        if config.seed != spec.seed:
+            system["seed"] = config.seed
+        for section in _SECTIONS:
+            current = getattr(config, section)
+            base = getattr(default, section)
+            for f in fields(type(current)):
+                dotted = f"{section}.{f.name}"
+                if dotted in _SHADOWED_KEYS:
+                    continue
+                if getattr(current, f.name) != getattr(base, f.name):
+                    system[dotted] = getattr(current, f.name)
+        return cls(
+            workload=spec.name,
+            scale=spec.scale,
+            threads=config.num_procs,
+            seed=spec.seed,
+            params=_sorted_items(dict(spec.overrides)),
+            gating=config.gating.enabled,
+            w0=config.gating.w0,
+            cm=config.gating.contention_manager,
+            system=_sorted_items(system),
+        )
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        mode = f"gated w0={self.w0}" if self.gating else "ungated"
+        extras = ""
+        if self.params:
+            extras = " " + ",".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"{self.workload}[{self.scale}] x{self.threads} {mode} "
+            f"cm={self.cm}{extras}"
+        )
+
+
+def scenario(
+    workload: str,
+    scale: str = "small",
+    threads: int = 4,
+    seed: int = 0,
+    gating: bool = True,
+    w0: int = 8,
+    cm: str = "gating-aware",
+    params: Mapping[str, Any] | None = None,
+    system: Mapping[str, Any] | None = None,
+) -> ScenarioSpec:
+    """Convenience constructor taking plain dicts, with validation."""
+    return ScenarioSpec(
+        workload=workload,
+        scale=scale,
+        threads=threads,
+        seed=seed,
+        params=_sorted_items(params),
+        gating=gating,
+        w0=w0,
+        cm=cm,
+        system=_sorted_items(system),
+    ).validate()

@@ -1,0 +1,181 @@
+"""Parameter-grid expansion: a suite is a base spec plus axes.
+
+A :class:`ScenarioSuite` describes a whole evaluation matrix as data: a
+base :class:`~repro.scenarios.spec.ScenarioSpec` and an ordered mapping
+of *axes* — each a spec dimension and the values it sweeps.  Expansion
+takes the cartesian product (the last axis varies fastest, so related
+runs sit next to each other in one executor batch) and validates every
+resulting spec before anything is simulated.
+
+Axis names resolve in three namespaces:
+
+* spec fields — ``workload``, ``scale``, ``threads``, ``seed``,
+  ``gating``, ``w0``, ``cm``;
+* ``system.<dotted path>`` — a :class:`~repro.config.SystemConfig`
+  override, e.g. ``system.memory.latency``;
+* anything else — a workload parameter override (validated against the
+  workload's schema), optionally written ``params.<name>``.
+
+This is the layer the ROADMAP's "cache-aware scenario search over
+W0 × CM × workload grids" builds on: a suite is a declarative object
+that enumerates, serializes, and digests its whole grid without running
+it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..errors import WorkloadError
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioSuite", "suite"]
+
+_SPEC_FIELDS = ("workload", "scale", "threads", "seed", "gating", "w0", "cm")
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """A named grid of scenarios: base spec × axes."""
+
+    name: str
+    base: ScenarioSpec
+    #: ordered (axis name, swept values) pairs; last axis varies fastest
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for axis, values in self.axes:
+            if axis in seen:
+                raise WorkloadError(f"suite {self.name!r}: duplicate axis {axis!r}")
+            seen.add(axis)
+            if not values:
+                raise WorkloadError(
+                    f"suite {self.name!r}: axis {axis!r} has no values"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of scenarios the suite expands to."""
+        total = 1
+        for _axis, values in self.axes:
+            total *= len(values)
+        return total
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The full grid, validated, in deterministic order."""
+        specs = []
+        value_lists = [values for _axis, values in self.axes]
+        for combo in itertools.product(*value_lists):
+            spec = self.base
+            for (axis, _values), value in zip(self.axes, combo):
+                spec = _apply_axis(spec, axis, value)
+            specs.append(spec.validate())
+        return specs
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base": self.base.to_dict(),
+            "axes": [[axis, list(values)] for axis, values in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSuite":
+        if "base" not in data:
+            raise WorkloadError("suite is missing its base scenario")
+        return cls(
+            name=data.get("name", "unnamed"),
+            base=ScenarioSpec.from_dict(data["base"]),
+            axes=_axes_from_data(data.get("axes", [])),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSuite":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise WorkloadError(f"invalid suite JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise WorkloadError("suite JSON must be an object")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"suite {self.name}: {self.description}".rstrip().rstrip(":")]
+        lines.append(f"  base: {self.base.label()}")
+        for axis, values in self.axes:
+            lines.append(f"  axis {axis}: {list(values)}")
+        lines.append(f"  expands to {self.size} scenario(s)")
+        return "\n".join(lines)
+
+
+def _axes_from_data(axes: Any) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+    """Decode axes from JSON data: [[name, values], ...] or a mapping."""
+    if isinstance(axes, Mapping):
+        entries = list(axes.items())
+    elif isinstance(axes, Sequence) and not isinstance(axes, str):
+        entries = []
+        for item in axes:
+            if (
+                not isinstance(item, Sequence)
+                or isinstance(item, str)
+                or len(item) != 2
+            ):
+                raise WorkloadError(
+                    f"suite axis entries must be [name, values] pairs, "
+                    f"got {item!r}"
+                )
+            entries.append((item[0], item[1]))
+    else:
+        raise WorkloadError(
+            f"suite axes must be a mapping or a list of [name, values] "
+            f"pairs, got {type(axes).__name__}"
+        )
+    out = []
+    for axis, values in entries:
+        if not isinstance(axis, str):
+            raise WorkloadError(f"axis name must be a string, got {axis!r}")
+        if isinstance(values, str) or not isinstance(values, Sequence):
+            raise WorkloadError(
+                f"axis {axis!r} values must be a list, got {values!r}"
+            )
+        out.append((axis, tuple(values)))
+    return tuple(out)
+
+
+def _apply_axis(spec: ScenarioSpec, axis: str, value: Any) -> ScenarioSpec:
+    """Set one axis value on a spec, resolving the axis namespace."""
+    if axis in _SPEC_FIELDS:
+        return spec.with_updates(**{axis: value})
+    if axis.startswith("system."):
+        return spec.with_updates(system={axis[len("system."):]: value})
+    if axis.startswith("params."):
+        return spec.with_updates(params={axis[len("params."):]: value})
+    # bare name: a workload parameter (schema validation catches typos)
+    return spec.with_updates(params={axis: value})
+
+
+def suite(
+    name: str,
+    base: ScenarioSpec,
+    axes: Mapping[str, Sequence[Any]] | None = None,
+    description: str = "",
+) -> ScenarioSuite:
+    """Convenience constructor preserving the mapping's axis order."""
+    pairs = tuple(
+        (axis, tuple(values)) for axis, values in (axes or {}).items()
+    )
+    return ScenarioSuite(name=name, base=base, axes=pairs,
+                         description=description)

@@ -15,15 +15,34 @@ mapping and DESIGN.md §2 for the substitution argument):
   driver the paper calls out for yada/genome).
 * :mod:`~repro.workloads.intruder` — shared packet queue + flow
   reassembly; short transactions, high abort rate.
+* :mod:`~repro.workloads.kmeans`   — clustering; read-mostly with
+  short accumulator write bursts (low contention).
+* :mod:`~repro.workloads.vacation` — travel reservations; mixed-size
+  transactions over shared tables.
+* :mod:`~repro.workloads.labyrinth`— grid routing; the longest
+  transactions and largest write sets (worst case for abort energy).
 * :mod:`~repro.workloads.micro`    — counter / bank / array / list
   microbenchmarks for tests and ablations.
+
+Each builder registers a typed parameter schema
+(:mod:`~repro.workloads.schema`); unknown or mistyped overrides are
+rejected by name before anything is simulated.
 """
 
 from .base import MemoryLayout, WorkloadInstance, Scale, SCALES
-from .registry import available_workloads, build_workload, register_workload
+from .registry import (
+    available_workloads,
+    build_workload,
+    register_workload,
+    workload_schema,
+)
+from .schema import Param, WorkloadSchema
 from .genome import build_genome
 from .intruder import build_intruder
 from .yada import build_yada
+from .kmeans import build_kmeans
+from .vacation import build_vacation
+from .labyrinth import build_labyrinth
 from .micro import build_counter, build_bank, build_array_walk, build_llist
 
 __all__ = [
@@ -31,12 +50,18 @@ __all__ = [
     "WorkloadInstance",
     "Scale",
     "SCALES",
+    "Param",
+    "WorkloadSchema",
     "available_workloads",
     "build_workload",
     "register_workload",
+    "workload_schema",
     "build_genome",
     "build_intruder",
     "build_yada",
+    "build_kmeans",
+    "build_vacation",
+    "build_labyrinth",
     "build_counter",
     "build_bank",
     "build_array_walk",

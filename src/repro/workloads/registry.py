@@ -1,9 +1,18 @@
-"""Name-based workload construction.
+"""Name-based workload construction with typed parameter schemas.
 
 The harness and benchmarks refer to workloads by name; the registry
 maps names to builder functions.  Builders accept
 ``(num_threads, scale, seed, **overrides)`` and return a
 :class:`~repro.workloads.base.WorkloadInstance`.
+
+Every registration carries a :class:`~repro.workloads.schema.WorkloadSchema`
+describing the builder's override parameters (names, scalar types,
+fixed or per-scale defaults).  :func:`build_workload` validates
+overrides against the schema *before* calling the builder, so an
+unknown or mistyped parameter raises :class:`~repro.errors.WorkloadError`
+listing the valid parameters — which is what lets the scenario layer
+(:mod:`repro.scenarios`) validate and serialize whole evaluation
+matrices without running a single simulation.
 """
 
 from __future__ import annotations
@@ -12,39 +21,85 @@ from typing import Callable
 
 from ..errors import WorkloadError
 from .base import WorkloadInstance
-from .genome import build_genome
-from .intruder import build_intruder
-from .micro import build_array_walk, build_bank, build_counter, build_llist
-from .yada import build_yada
+from .genome import GENOME_SCHEMA, build_genome
+from .intruder import INTRUDER_SCHEMA, build_intruder
+from .kmeans import KMEANS_SCHEMA, build_kmeans
+from .labyrinth import LABYRINTH_SCHEMA, build_labyrinth
+from .micro import (
+    ARRAY_WALK_SCHEMA,
+    BANK_SCHEMA,
+    COUNTER_SCHEMA,
+    LLIST_SCHEMA,
+    build_array_walk,
+    build_bank,
+    build_counter,
+    build_llist,
+)
+from .schema import WorkloadSchema
+from .vacation import VACATION_SCHEMA, build_vacation
+from .yada import YADA_SCHEMA, build_yada
 
-__all__ = ["available_workloads", "build_workload", "register_workload"]
+__all__ = [
+    "available_workloads",
+    "build_workload",
+    "register_workload",
+    "workload_schema",
+]
 
 Builder = Callable[..., WorkloadInstance]
 
-_BUILDERS: dict[str, Builder] = {
-    "genome": build_genome,
-    "yada": build_yada,
-    "intruder": build_intruder,
-    "counter": build_counter,
-    "bank": build_bank,
-    "array_walk": build_array_walk,
-    "llist": build_llist,
-}
+#: name -> (builder, schema); one dict so the two can never drift apart
+_REGISTRY: dict[str, tuple[Builder, WorkloadSchema]] = {}
 
 #: the paper's evaluation applications, in its presentation order
 PAPER_APPS: tuple[str, ...] = ("genome", "yada", "intruder")
-__all__.append("PAPER_APPS")
+
+#: every STAMP-style application kernel (the paper's three plus the
+#: extended contention profiles added on top of the scenario layer)
+STAMP_APPS: tuple[str, ...] = (
+    "genome", "yada", "intruder", "kmeans", "vacation", "labyrinth",
+)
+
+__all__ += ["PAPER_APPS", "STAMP_APPS"]
 
 
 def available_workloads() -> list[str]:
-    return sorted(_BUILDERS)
+    return sorted(_REGISTRY)
 
 
-def register_workload(name: str, builder: Builder) -> None:
-    """Add a custom workload (overwrites allowed)."""
+def _lookup(name: str) -> tuple[Builder, WorkloadSchema]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(available_workloads())}"
+        ) from None
+
+
+def register_workload(
+    name: str, builder: Builder, schema: WorkloadSchema | None = None
+) -> None:
+    """Add a custom workload (overwrites allowed).
+
+    Without an explicit ``schema``, one is derived from the builder's
+    keyword parameters (:meth:`WorkloadSchema.from_builder`) so unknown
+    override keys are still rejected by name.
+    """
     if not name:
         raise WorkloadError("workload name must be non-empty")
-    _BUILDERS[name] = builder
+    if schema is None:
+        schema = WorkloadSchema.from_builder(name, builder)
+    elif schema.workload != name:
+        raise WorkloadError(
+            f"schema is for {schema.workload!r}, registered as {name!r}"
+        )
+    _REGISTRY[name] = (builder, schema)
+
+
+def workload_schema(name: str) -> WorkloadSchema:
+    """The parameter schema of the named workload."""
+    return _lookup(name)[1]
 
 
 def build_workload(
@@ -54,12 +109,23 @@ def build_workload(
     seed: int = 0,
     **overrides,
 ) -> WorkloadInstance:
-    """Build the named workload."""
-    try:
-        builder = _BUILDERS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(available_workloads())}"
-        ) from None
+    """Build the named workload, validating overrides against its schema."""
+    builder, schema = _lookup(name)
+    overrides = schema.validate(overrides)
     return builder(num_threads, scale=scale, seed=seed, **overrides)
+
+
+for _name, _builder, _schema in (
+    ("genome", build_genome, GENOME_SCHEMA),
+    ("yada", build_yada, YADA_SCHEMA),
+    ("intruder", build_intruder, INTRUDER_SCHEMA),
+    ("kmeans", build_kmeans, KMEANS_SCHEMA),
+    ("vacation", build_vacation, VACATION_SCHEMA),
+    ("labyrinth", build_labyrinth, LABYRINTH_SCHEMA),
+    ("counter", build_counter, COUNTER_SCHEMA),
+    ("bank", build_bank, BANK_SCHEMA),
+    ("array_walk", build_array_walk, ARRAY_WALK_SCHEMA),
+    ("llist", build_llist, LLIST_SCHEMA),
+):
+    register_workload(_name, _builder, _schema)
+del _name, _builder, _schema

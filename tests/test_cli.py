@@ -27,8 +27,10 @@ class TestCommands:
     def test_list(self, capsys):
         out = run_cli(capsys, "list")
         assert "intruder" in out
+        assert "labyrinth" in out
         assert "gating-aware" in out
         assert "momentum" in out
+        assert "paper-fig7" in out
 
     def test_run(self, capsys):
         out = run_cli(
@@ -148,3 +150,82 @@ class TestExecFlags:
         assert main(["exec-status", "--cache-dir", str(missing)]) == 1
         assert "no result store" in capsys.readouterr().err
         assert not missing.exists()
+
+    def test_exec_status_prune(self, capsys, tmp_path):
+        from repro.exec.store import ResultStore
+
+        run_cli(
+            capsys, "sweep", "counter", "--scale", "tiny", "--procs", "2",
+            "--w0-values", "4", "8", "--cache-dir", str(tmp_path),
+        )
+        store = ResultStore(tmp_path)
+        victim = next(digest for digest, _label in store.labels())
+        store.invalidate(victim)
+        size_before = store.path.stat().st_size
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                      "--prune")
+        assert "pruned 2 dead line(s)" in out  # dead record + tombstone
+        assert "2 entries" in out
+        assert store.path.stat().st_size < size_before
+
+    def test_exec_status_prune_is_idempotent(self, capsys, tmp_path):
+        run_cli(
+            capsys, "compare", "counter", "--scale", "tiny", "--procs", "2",
+            "--cache-dir", str(tmp_path),
+        )
+        first = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                        "--prune")
+        second = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                         "--prune")
+        assert "pruned 0 dead line(s)" in second
+        assert "2 entries" in first and "2 entries" in second
+
+
+class TestSuiteCommands:
+    def test_suite_list(self, capsys):
+        out = run_cli(capsys, "suite", "list")
+        for name in ("paper-fig7", "paper-eval", "smoke", "stamp-extended"):
+            assert name in out
+
+    def test_suite_describe(self, capsys):
+        out = run_cli(capsys, "suite", "describe", "--suite", "smoke")
+        assert "expands to 4 scenario(s)" in out
+        assert "unique jobs after dedup: 3" in out
+        assert "counter[tiny]" in out
+
+    def test_suite_describe_json(self, capsys):
+        import json
+
+        out = run_cli(capsys, "suite", "describe", "--suite", "smoke",
+                      "--json")
+        specs = json.loads(out)
+        assert len(specs) == 4
+        assert all(spec["workload"] == "counter" for spec in specs)
+        from repro.scenarios import ScenarioSpec
+
+        restored = [ScenarioSpec.from_dict(spec) for spec in specs]
+        assert len({spec.digest for spec in restored}) == 4
+
+    def test_suite_describe_scale_override(self, capsys):
+        out = run_cli(capsys, "suite", "describe", "--suite", "smoke",
+                      "--scale", "small")
+        assert "counter[small]" in out
+
+    def test_suite_run_cached_second_pass_zero_sims(self, capsys, tmp_path):
+        argv = ("suite", "run", "--suite", "smoke", "--jobs", "2",
+                "--cache-dir", str(tmp_path), "--progress")
+        first = run_cli(capsys, *argv)
+        assert "suite smoke — 4 scenario(s)" in first
+        assert "gated vs ungated pairs" in first
+        code = main(list(argv))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == first  # bit-identical results from cache
+        assert "executed 0 of 4 submitted" in captured.err
+        assert "3 cache hit(s)" in captured.err
+
+    def test_suite_unknown_name(self, capsys):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="unknown suite"):
+            main(["suite", "run", "--suite", "paper-fig9"])

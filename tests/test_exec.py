@@ -249,6 +249,37 @@ class TestResultStore:
         assert "1 entries" in text
         assert f"schema v{SCHEMA_VERSION}" in text
 
+    def test_prune_drops_dead_lines_keeps_live_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keep, drop = tiny_job(), tiny_job(gated=False)
+        Executor(store=store).run([keep, drop])
+        store.invalidate(drop.digest)  # dead record + tombstone line
+        with store.path.open("a") as fh:
+            fh.write("{crashed mid-append\n")
+            fh.write(json.dumps({"digest": "old", "schema": SCHEMA_VERSION - 1,
+                                 "result": {}}) + "\n")
+        store = ResultStore(tmp_path)
+        bytes_before = store.path.stat().st_size
+        report = store.prune()
+        # 5 lines before (2 results + tombstone + corrupt + stale), 1 live
+        assert report.lines_dropped == 4
+        assert report.entries == 1
+        assert report.bytes_reclaimed == bytes_before - store.path.stat().st_size
+        assert "pruned 4 dead line(s)" in report.summary()
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.stats().skipped_records == 0
+        assert reloaded.get(keep.digest) is not None
+
+    def test_prune_on_clean_store_is_a_no_op(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([tiny_job()])
+        content = store.path.read_text()
+        report = store.prune()
+        assert report.lines_dropped == 0
+        assert report.bytes_reclaimed == 0
+        assert store.path.read_text() == content
+
 
 class TestSweepIntegration:
     """The acceptance criterion: a cached sweep re-runs nothing."""

@@ -18,9 +18,11 @@ from repro.workloads.intruder import build_intruder
 from repro.workloads.micro import build_bank, build_counter
 from repro.workloads.registry import (
     PAPER_APPS,
+    STAMP_APPS,
     available_workloads,
     build_workload,
     register_workload,
+    workload_schema,
 )
 from repro.workloads.yada import build_yada
 
@@ -31,6 +33,11 @@ class TestRegistry:
     def test_paper_apps_registered(self):
         assert set(PAPER_APPS) == {"genome", "yada", "intruder"}
         for app in PAPER_APPS:
+            assert app in available_workloads()
+
+    def test_stamp_apps_registered(self):
+        assert set(PAPER_APPS) < set(STAMP_APPS)
+        for app in STAMP_APPS:
             assert app in available_workloads()
 
     def test_unknown_workload(self):
@@ -45,6 +52,77 @@ class TestRegistry:
     def test_register_empty_name_rejected(self):
         with pytest.raises(WorkloadError):
             register_workload("", build_counter)
+
+
+class TestOverrideRejection:
+    """Unknown/mistyped overrides fail by name, before any building."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_unknown_override_rejected_everywhere(self, name):
+        with pytest.raises(WorkloadError, match="valid parameters"):
+            build_workload(name, 2, scale="tiny", not_a_param=1)
+
+    def test_error_lists_valid_parameters(self):
+        with pytest.raises(
+            WorkloadError,
+            match=r"genome: unknown parameter\(s\) 'segmants'",
+        ) as excinfo:
+            build_workload("genome", 2, scale="tiny", segmants=10)
+        message = str(excinfo.value)
+        for param in ("segments", "distinct_fraction", "probes",
+                      "table_slack"):
+            assert param in message
+
+    def test_multiple_unknown_keys_all_reported(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            build_workload("counter", 2, scale="tiny", foo=1, bar=2)
+        assert "'bar'" in str(excinfo.value)
+        assert "'foo'" in str(excinfo.value)
+
+    def test_mistyped_override_rejected(self):
+        with pytest.raises(WorkloadError, match="expects int"):
+            build_workload("counter", 2, scale="tiny", increments="many")
+        with pytest.raises(WorkloadError, match="expects int"):
+            build_workload("counter", 2, scale="tiny", increments=True)
+
+    def test_float_param_accepts_int(self):
+        inst = build_workload("genome", 2, scale="tiny",
+                              distinct_fraction=1)
+        assert inst.params["distinct_segments"] > 0
+
+    def test_custom_builder_gets_derived_schema(self):
+        register_workload("custom-schema-test", build_counter)
+        schema = workload_schema("custom-schema-test")
+        assert set(schema.names()) == {"increments", "work_cycles"}
+        with pytest.raises(WorkloadError, match="valid parameters"):
+            build_workload("custom-schema-test", 2, scale="tiny", wat=1)
+
+    def test_var_keyword_builder_stays_permissive(self):
+        """A **kwargs builder must keep accepting arbitrary overrides."""
+
+        def build_kw(num_threads, scale="tiny", seed=0, fixed=1, **extras):
+            inst = build_counter(num_threads, scale=scale, seed=seed)
+            inst.params["extras"] = dict(extras, fixed=fixed)
+            return inst
+
+        register_workload("kwargs-test", build_kw)
+        schema = workload_schema("kwargs-test")
+        assert schema.permissive
+        inst = build_workload("kwargs-test", 2, scale="tiny",
+                              fixed=2, anything=5)
+        assert inst.params["extras"] == {"anything": 5, "fixed": 2}
+        # declared parameters are still type-checked
+        with pytest.raises(WorkloadError, match="expects int"):
+            build_workload("kwargs-test", 2, scale="tiny", fixed="nope")
+
+    def test_schema_accessor_unknown_workload(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            workload_schema("nope")
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_every_schema_describes(self, name):
+        text = workload_schema(name).describe()
+        assert name in text
 
 
 class TestBuilders:
