@@ -4,13 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-exec clean-cache
+.PHONY: test smoke bench bench-check bench-exec clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke: test
 	bash scripts/smoke.sh
+
+bench:
+	$(PYTHON) -m repro bench
+
+bench-check:
+	$(PYTHON) -m repro bench --check
 
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec_scaling.py

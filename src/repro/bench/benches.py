@@ -1,0 +1,283 @@
+"""The benchmark definitions: event kernel up to whole-suite runs.
+
+Every benchmark is deterministic (fixed seeds, fixed work per
+repetition) so before/after comparisons measure the code, not the
+workload.  ``check=True`` shrinks the work to CI-smoke size — the
+numbers are meaningless for regression tracking but prove the
+benchmarks still run.
+
+Benchmarks
+----------
+``bench_engine``
+    The discrete-event kernel alone: a self-rescheduling event
+    population (mimicking in-flight memory operations) plus a stream of
+    one-shot events, measured in events executed per second.  This is
+    the floor every simulated cycle pays.
+``bench_stats``
+    Counter/histogram update throughput through pre-resolved handles —
+    the accounting cost of every cache access and transaction event.
+``bench_timeline``
+    State-timeline recording plus the energy layer's interval sweep
+    over the recorded change-points (the Eq. 1–5 consumption path).
+``bench_cache``
+    L1 lookup/touch/fill traffic with a working set sized to force a
+    realistic mix of hits, misses and evictions.
+``bench_e2e_suite``
+    The ``smoke`` scenario suite end-to-end on a cold cache (serial
+    executor, no result store) — simulations per second as a user
+    experiences them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import BenchmarkError
+from .core import BenchResult, run_timed
+
+__all__ = ["BENCHMARKS", "available_benchmarks", "run_benchmarks"]
+
+
+# ----------------------------------------------------------------------
+# micro: event engine
+# ----------------------------------------------------------------------
+def bench_engine(check: bool = False, repeats: int = 5, warmup: int = 2) -> BenchResult:
+    from ..sim.engine import Engine
+
+    population = 64           # concurrently-scheduled recurring events
+    horizon = 400 if check else 20_000  # cycles simulated per repetition
+
+    def one_repetition() -> int:
+        engine = Engine()
+
+        def recur(delay: int) -> None:
+            # Self-rescheduling callback with one argument: the common
+            # shape of memory/bus completion events.
+            if engine.now < horizon:
+                engine.schedule(delay, recur, delay)
+
+        def one_shot() -> None:
+            pass
+
+        for i in range(population):
+            engine.schedule(i % 7, recur, 1 + i % 5)
+            engine.schedule(i % 11, one_shot)
+        # A sprinkling of cancellations so the lazy-deletion path stays
+        # on the profile (aborted HTM operations cancel their events).
+        for i in range(0, horizon, 50):
+            event = engine.schedule(i + 1, one_shot)
+            event.cancel()
+        engine.run()
+        return engine.events_executed
+
+    return run_timed(
+        one_repetition,
+        name="bench_engine",
+        unit="events",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"population": population, "horizon": horizon, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
+# micro: statistics registry
+# ----------------------------------------------------------------------
+def bench_stats(check: bool = False, repeats: int = 5, warmup: int = 2) -> BenchResult:
+    from ..sim.stats import StatsRegistry
+
+    ops = 2_000 if check else 400_000
+
+    def one_repetition() -> int:
+        stats = StatsRegistry()
+        # The hot path binds handles once and calls .add()/.record();
+        # this is exactly what processor/cache construction does.
+        hits = stats.counter("proc0.cache.hits")
+        misses = stats.counter("proc0.cache.misses")
+        busy = stats.counter("bus.busy_cycles")
+        lat = stats.histogram("tx.latency")
+        add_hit = hits.add
+        add_miss = misses.add
+        add_busy = busy.add
+        record = lat.record
+        for i in range(ops):
+            add_hit()
+            if not i % 16:
+                add_miss()
+            add_busy(3)
+            if not i % 64:
+                record(i & 1023)
+        return ops
+
+    return run_timed(
+        one_repetition,
+        name="bench_stats",
+        unit="bumps",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"ops": ops, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
+# micro: timeline recording + energy interval sweep
+# ----------------------------------------------------------------------
+def bench_timeline(check: bool = False, repeats: int = 5, warmup: int = 2) -> BenchResult:
+    from ..power.energy import compute_energy
+    from ..power.model import PowerModel
+    from ..power.states import ProcState
+    from ..sim.timeline import StateTimeline
+
+    procs = 8
+    changes = 200 if check else 20_000  # state changes per processor
+    cycle = (ProcState.RUN, ProcState.MISS, ProcState.RUN, ProcState.COMMIT,
+             ProcState.GATED)
+    model = PowerModel.derive()
+
+    def one_repetition() -> int:
+        timelines = []
+        end = 0
+        for p in range(procs):
+            tl = StateTimeline(ProcState.RUN)
+            t = 0
+            for i in range(changes):
+                t += 1 + (i * 7 + p * 3) % 9
+                tl.set_state(t, cycle[(i + p) % len(cycle)])
+            end = max(end, t + 1)
+            timelines.append(tl)
+        for tl in timelines:
+            tl.finalize(end)
+        compute_energy(timelines, (0, end), model, gated_run=True)
+        return procs * changes
+
+    return run_timed(
+        one_repetition,
+        name="bench_timeline",
+        unit="changes",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"procs": procs, "changes": changes, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
+# micro: L1 cache
+# ----------------------------------------------------------------------
+def bench_cache(check: bool = False, repeats: int = 5, warmup: int = 2) -> BenchResult:
+    from ..config import CacheConfig
+    from ..mem.cache import L1Cache
+    from ..sim.stats import StatsRegistry
+
+    accesses = 2_000 if check else 300_000
+    config = CacheConfig()
+    lines = config.num_lines * 2  # working set at 2x capacity: mixes in misses
+
+    def one_repetition() -> int:
+        cache = L1Cache(config, proc_id=0, stats=StatsRegistry())
+        line = 1
+        for i in range(accesses):
+            # Multiplicative-congruential walk: deterministic, scattered
+            # across sets, revisits lines often enough to produce hits.
+            line = (line * 1103515245 + 12345 + i) % lines
+            entry = cache.touch(line)
+            if entry is None:
+                cache.fill(line)
+            if not i % 9:
+                cache.mark_spec_read(line)
+            if not i % 101:
+                cache.clear_speculative((line,), commit=True)
+        return accesses
+
+    return run_timed(
+        one_repetition,
+        name="bench_cache",
+        unit="accesses",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"accesses": accesses, "ways": config.ways, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
+# meso: the smoke suite, end to end, cold cache
+# ----------------------------------------------------------------------
+def bench_e2e_suite(
+    check: bool = False, repeats: int | None = None, warmup: int | None = None
+) -> BenchResult:
+    from ..exec.executor import Executor
+    from ..scenarios.builtin import get_suite
+    from ..scenarios.runner import run_suite
+
+    suite = get_suite("smoke", scale="tiny")
+    # Explicit repeats/warmup always win (matching the other benches);
+    # only the *defaults* shrink in check mode.
+    if repeats is None:
+        repeats = 1 if check else 3
+    if warmup is None:
+        warmup = 0 if check else 1
+
+    def one_repetition() -> int:
+        # Serial executor, no result store: every repetition simulates
+        # every unique job from scratch (cold cache by construction).
+        outcome = run_suite(suite, executor=Executor(jobs=1))
+        report = outcome.report
+        executed = report.executed if report is not None else 0
+        if executed <= 0:
+            raise BenchmarkError(
+                "bench_e2e_suite expected cold-cache execution but the "
+                "executor reports zero jobs run"
+            )
+        return executed
+
+    return run_timed(
+        one_repetition,
+        name="bench_e2e_suite",
+        unit="sims",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"suite": suite.name, "scenarios": suite.size, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+BENCHMARKS: dict[str, Callable[..., BenchResult]] = {
+    "bench_engine": bench_engine,
+    "bench_stats": bench_stats,
+    "bench_timeline": bench_timeline,
+    "bench_cache": bench_cache,
+    "bench_e2e_suite": bench_e2e_suite,
+}
+
+
+def available_benchmarks() -> list[str]:
+    return list(BENCHMARKS)
+
+
+def run_benchmarks(
+    names: Sequence[str] | None = None,
+    check: bool = False,
+    repeats: int | None = None,
+    warmup: int | None = None,
+    progress: Callable[[str], Any] | None = None,
+) -> list[BenchResult]:
+    """Run benchmarks by name (all of them by default), in listed order."""
+    selected = list(names) if names else available_benchmarks()
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown benchmark(s) {', '.join(unknown)}; available: "
+            f"{', '.join(available_benchmarks())}"
+        )
+    results = []
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        kwargs: dict[str, Any] = {"check": check}
+        if repeats is not None:
+            kwargs["repeats"] = repeats
+        if warmup is not None:
+            kwargs["warmup"] = warmup
+        results.append(BENCHMARKS[name](**kwargs))
+    return results

@@ -1,0 +1,148 @@
+"""Benchmark timing discipline: warmup, repetitions, robust statistics.
+
+A benchmark here is a callable that performs one *repetition* of a
+fixed amount of work and returns the number of work units it performed
+(events executed, counters bumped, simulations run, ...).  The runner
+
+1. calls it ``warmup`` times untimed — so allocator pools, caches and
+   (on other interpreters) JITs reach steady state,
+2. calls it ``repeats`` times under ``time.perf_counter``,
+3. reports *best-of* throughput alongside mean/stddev.
+
+Best-of is the standard robust estimator for microbenchmarks on a
+multi-tasking host: external interference only ever makes a repetition
+slower, never faster, so the minimum is the least-noisy sample (the
+same reasoning as CPython's ``timeit`` documentation).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Measured outcome of one benchmark.
+
+    ``units_per_second`` is derived from the *best* repetition — the
+    headline regression-tracking number.  ``seconds`` (per repetition)
+    are kept so wall-clock comparisons (e.g. the e2e suite benchmark)
+    can be made directly.
+    """
+
+    name: str
+    unit: str
+    units_per_repeat: int
+    repeats: int
+    warmup: int
+    best_seconds: float
+    mean_seconds: float
+    stddev_seconds: float
+    units_per_second: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.units_per_second:,.0f} {self.unit}/s "
+            f"(best of {self.repeats}; {self.best_seconds * 1e3:.2f} ms/rep, "
+            f"mean {self.mean_seconds * 1e3:.2f} ms "
+            f"± {self.stddev_seconds * 1e3:.2f} ms)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "units_per_repeat": self.units_per_repeat,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "best_seconds": self.best_seconds,
+            "mean_seconds": self.mean_seconds,
+            "stddev_seconds": self.stddev_seconds,
+            "units_per_second": self.units_per_second,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=data["name"],
+            unit=data["unit"],
+            units_per_repeat=int(data["units_per_repeat"]),
+            repeats=int(data["repeats"]),
+            warmup=int(data["warmup"]),
+            best_seconds=float(data["best_seconds"]),
+            mean_seconds=float(data["mean_seconds"]),
+            stddev_seconds=float(data["stddev_seconds"]),
+            units_per_second=float(data["units_per_second"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def run_timed(
+    fn: Callable[[], int],
+    *,
+    name: str,
+    unit: str,
+    repeats: int = 5,
+    warmup: int = 2,
+    meta: dict[str, Any] | None = None,
+) -> BenchResult:
+    """Time ``fn`` under the warmup + repetition discipline.
+
+    ``fn`` performs one repetition and returns the number of work units
+    it completed; every repetition must perform the same work (the
+    runner asserts the returned unit counts agree).
+    """
+    if repeats < 1:
+        raise BenchmarkError(f"benchmark {name!r}: repeats must be >= 1")
+    if warmup < 0:
+        raise BenchmarkError(f"benchmark {name!r}: warmup must be >= 0")
+
+    for _ in range(warmup):
+        fn()
+
+    units: int | None = None
+    samples: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        done = fn()
+        samples.append(time.perf_counter() - started)
+        if not isinstance(done, int) or done <= 0:
+            raise BenchmarkError(
+                f"benchmark {name!r} must return a positive unit count, "
+                f"got {done!r}"
+            )
+        if units is None:
+            units = done
+        elif units != done:
+            raise BenchmarkError(
+                f"benchmark {name!r} is not doing fixed work: "
+                f"{units} units then {done}"
+            )
+
+    best = min(samples)
+    mean = sum(samples) / len(samples)
+    if len(samples) > 1:
+        var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+    else:
+        var = 0.0
+    if best <= 0.0:  # clock granularity floor; avoid inf throughput
+        best = 1e-9
+    return BenchResult(
+        name=name,
+        unit=unit,
+        units_per_repeat=units,
+        repeats=repeats,
+        warmup=warmup,
+        best_seconds=best,
+        mean_seconds=mean,
+        stddev_seconds=math.sqrt(var),
+        units_per_second=units / best,
+        meta=dict(meta or {}),
+    )

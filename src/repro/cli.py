@@ -7,6 +7,7 @@ Commands
 ``evaluate``    the paper's evaluation grid + Section VIII averages
 ``sweep``       Fig. 7 W0 sensitivity for one workload
 ``suite``       declarative scenario suites: ``list``, ``describe``, ``run``
+``bench``       hot-path benchmarks with ``BENCH_*.json`` output
 ``cache-power`` the Fig. 3 TCC-cache power analysis
 ``exec-status`` inspect (or ``--prune``) a result-cache directory
 ``list``        available workloads and contention managers
@@ -43,6 +44,7 @@ from .power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve, tcc_total_p
 from .power.report import format_energy_report
 from .scenarios.builtin import available_suites, get_suite, suite_help
 from .scenarios.runner import SuiteRun, run_suite
+from .scenarios.suite import load_suite_file
 from .sim.trace import TraceRecorder
 from .workloads.registry import available_workloads, workload_schema
 
@@ -132,20 +134,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sdesc = suite_sub.add_parser(
         "describe", help="axes, expansion and per-scenario digests"
     )
-    p_sdesc.add_argument("--suite", required=True, metavar="NAME")
+    sdesc_src = p_sdesc.add_mutually_exclusive_group(required=True)
+    sdesc_src.add_argument("--suite", metavar="NAME")
+    sdesc_src.add_argument("--file", metavar="PATH",
+                           help="user-defined ScenarioSuite JSON file")
     p_sdesc.add_argument("--scale", choices=("tiny", "small", "medium"),
                          help="override the suite's default scale")
-    p_sdesc.add_argument("--seed", type=int, default=0)
+    p_sdesc.add_argument("--seed", type=int, default=None,
+                         help="override the suite's seed (default: the "
+                              "suite's own; 0 for named suites)")
     p_sdesc.add_argument("--json", action="store_true",
                          help="emit the expanded scenario specs as JSON")
     p_srun = suite_sub.add_parser(
         "run", help="expand a suite and execute it through the exec cache"
     )
-    p_srun.add_argument("--suite", required=True, metavar="NAME")
+    srun_src = p_srun.add_mutually_exclusive_group(required=True)
+    srun_src.add_argument("--suite", metavar="NAME")
+    srun_src.add_argument("--file", metavar="PATH",
+                          help="user-defined ScenarioSuite JSON file "
+                               "(see docs/scenarios.md)")
     p_srun.add_argument("--scale", choices=("tiny", "small", "medium"),
                         help="override the suite's default scale")
-    p_srun.add_argument("--seed", type=int, default=0)
+    p_srun.add_argument("--seed", type=int, default=None,
+                        help="override the suite's seed (default: the "
+                             "suite's own; 0 for named suites)")
     _add_exec(p_srun)
+
+    p_bench = sub.add_parser(
+        "bench", help="micro/meso performance benchmarks (repro.bench)"
+    )
+    p_bench.add_argument("--bench", action="append", metavar="NAME",
+                         help="benchmark to run (repeatable; default: all)")
+    p_bench.add_argument("--list", action="store_true", dest="list_benches",
+                         help="list available benchmarks and exit")
+    p_bench.add_argument("--check", action="store_true",
+                         help="CI smoke mode: tiny work sizes, one pass")
+    p_bench.add_argument("--repeats", type=int, metavar="N",
+                         help="timed repetitions per benchmark")
+    p_bench.add_argument("--warmup", type=int, metavar="N",
+                         help="untimed warmup passes per benchmark")
+    p_bench.add_argument("--label", default="",
+                         help="session label recorded in the JSON payload")
+    p_bench.add_argument("--out", metavar="PATH",
+                         help="write the machine-readable report here "
+                              "(e.g. BENCH_local.json)")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="earlier bench JSON to compare against; the "
+                              "report becomes a before/after comparison")
 
     sub.add_parser("cache-power", help="Fig. 3 TCC-cache power analysis")
 
@@ -243,6 +278,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_suite(args: argparse.Namespace):
+    """A suite either by registered name or from a user JSON file.
+
+    For file-based suites, ``--scale`` and ``--seed`` (when given —
+    ``--seed 0`` counts) rewrite the base spec; axes that sweep those
+    fields still win at expansion.
+    """
+    if getattr(args, "file", None):
+        loaded = load_suite_file(args.file)
+        updates = {}
+        if args.scale:
+            updates["scale"] = args.scale
+        if args.seed is not None:
+            updates["seed"] = args.seed
+        if updates:
+            loaded = dataclasses.replace(
+                loaded, base=loaded.base.with_updates(**updates)
+            )
+        return loaded
+    return get_suite(
+        args.suite, scale=args.scale,
+        seed=args.seed if args.seed is not None else 0,
+    )
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     if args.action == "list":
         print(format_table(
@@ -252,7 +312,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         ))
         return 0
 
-    named = get_suite(args.suite, scale=args.scale, seed=args.seed)
+    named = _resolve_suite(args)
     if args.action == "describe":
         specs = named.expand()
         if args.json:
@@ -286,6 +346,42 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         # stderr, like the progress layer: stdout stays bit-identical
         # between a cold run and a pure-cache-hit re-run.
         print(outcome.report.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        available_benchmarks,
+        bench_payload,
+        compare_payloads,
+        load_bench_json,
+        run_benchmarks,
+        write_bench_json,
+    )
+    from .bench.report import format_results
+
+    if args.list_benches:
+        for name in available_benchmarks():
+            print(name)
+        return 0
+
+    results = run_benchmarks(
+        names=args.bench,
+        check=args.check,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr),
+    )
+    print(format_results(results))
+
+    payload = bench_payload(results, label=args.label)
+    if args.baseline:
+        payload = compare_payloads(load_bench_json(args.baseline), payload)
+        for name, factor in sorted(payload["speedup"].items()):
+            print(f"  {name}: {factor:.2f}x vs baseline")
+    if args.out:
+        path = write_bench_json(args.out, payload)
+        print(f"report written to {path}", file=sys.stderr)
     return 0
 
 
@@ -350,6 +446,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "suite": _cmd_suite,
+    "bench": _cmd_bench,
     "cache-power": _cmd_cache_power,
     "exec-status": _cmd_exec_status,
     "list": _cmd_list,

@@ -19,6 +19,7 @@ __all__ = [
     "WorkloadError",
     "HarnessError",
     "ExecutionError",
+    "BenchmarkError",
 ]
 
 
@@ -88,4 +89,13 @@ class ExecutionError(ReproError, RuntimeError):
     Examples: a worker process failing while executing a job (the
     original exception is chained), an unwritable cache directory, or
     an invalid worker count.
+    """
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """Raised by :mod:`repro.bench` for misconfigured or broken benchmarks.
+
+    Examples: a non-positive repetition count, a benchmark whose
+    repetitions do not perform a fixed amount of work, or a request for
+    an unknown benchmark name.
     """

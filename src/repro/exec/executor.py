@@ -66,6 +66,18 @@ class BatchReport:
             return 1.0
         return self.run_seconds / self.wall_seconds
 
+    @property
+    def sims_per_second(self) -> float:
+        """Simulations actually executed per wall-clock second.
+
+        The batch-level throughput number ``repro.bench``'s e2e
+        benchmark tracks; 0.0 when the batch was answered entirely from
+        cache/dedup (no simulation ran, so there is no meaningful rate).
+        """
+        if self.executed <= 0 or self.wall_seconds <= 0:
+            return 0.0
+        return self.executed / self.wall_seconds
+
     def summary(self) -> str:
         return (
             f"executed {self.executed} of {self.total} submitted "
@@ -73,7 +85,8 @@ class BatchReport:
             f"hit(s)) on {self.workers} worker(s) in {self.wall_seconds:.2f}s"
             + (
                 f" (serial-equivalent {self.run_seconds:.2f}s, "
-                f"speed-up {self.speedup:.2f}x)"
+                f"speed-up {self.speedup:.2f}x, "
+                f"{self.sims_per_second:.1f} sims/s)"
                 if self.executed
                 else ""
             )

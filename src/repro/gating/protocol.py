@@ -66,6 +66,16 @@ class GatingUnit:
         self._trace = trace
         self.table = GatingTable(config.num_procs)
         self._prefix = f"dir{directory.dir_id}.gating"
+        self._c_aborts_recorded = stats.counter(
+            f"{self._prefix}.aborts_recorded"
+        )
+        self._c_renewals = stats.counter(f"{self._prefix}.renewals")
+        self._c_renewals_global = stats.counter("gating.renewals")
+        self._c_turn_ons = stats.counter(f"{self._prefix}.turn_ons")
+        self._c_stale_off_cleared = stats.counter(
+            f"{self._prefix}.stale_off_cleared"
+        )
+        self._h_window = stats.histogram("gating.window")
 
     # ------------------------------------------------------------------
     # 1. abort path
@@ -99,7 +109,7 @@ class GatingUnit:
         entry.momentum = self._m.proc(victim).attempt_age()
         self._arm_timer(entry)
 
-        self._stats.bump(f"{self._prefix}.aborts_recorded")
+        self._c_aborts_recorded.add()
         self._trace.emit(
             now,
             "gate.record",
@@ -114,7 +124,7 @@ class GatingUnit:
         window = self._cm.gating_window_ex(
             entry.abort_count, entry.renew_count, entry.momentum
         )
-        self._stats.histogram("gating.window").record(window)
+        self._h_window.record(window)
         epoch = entry.epoch
         entry.timer_event = self._m.engine.schedule(
             window, self._timer_expired, entry, epoch
@@ -169,8 +179,8 @@ class GatingUnit:
 
     def _renew(self, entry: GatingEntry) -> None:
         entry.renew_count += 1
-        self._stats.bump(f"{self._prefix}.renewals")
-        self._stats.bump("gating.renewals")
+        self._c_renewals.add()
+        self._c_renewals_global.add()
         self._trace.emit(
             self._m.engine.now,
             "gate.renew",
@@ -184,7 +194,7 @@ class GatingUnit:
     def _send_on(self, entry: GatingEntry, reason: str) -> None:
         entry.off = False
         entry.cancel_timer()
-        self._stats.bump(f"{self._prefix}.turn_ons")
+        self._c_turn_ons.add()
         self._trace.emit(
             self._m.engine.now,
             "gate.turn_on",
@@ -216,7 +226,7 @@ class GatingUnit:
             # a redundant Turn-On (see _timer_expired for why this is
             # load-bearing for deadlock freedom).
             entry.off = False
-            self._stats.bump(f"{self._prefix}.stale_off_cleared")
+            self._c_stale_off_cleared.add()
             self._trace.emit(
                 self._m.engine.now,
                 "gate.stale_off",

@@ -49,6 +49,16 @@ from .transaction import TxState
 __all__ = ["Machine", "MachineResult", "CommittedTx"]
 
 
+class _AllThreadsFinished(Exception):
+    """Control-flow sentinel: the last thread program completed.
+
+    Raised by :meth:`Machine.proc_finished` (only while
+    :meth:`Machine.run` is driving the engine) so the event loop can be
+    the engine's inlined drain loop instead of one ``step()`` call —
+    and one completion comparison — per event.
+    """
+
+
 @dataclass(frozen=True)
 class CommittedTx:
     """Snapshot of one committed transaction (validation mode only)."""
@@ -157,10 +167,14 @@ class Machine:
             Processor(p, self) for p in range(config.num_procs)
         ]
 
+        self._c_stale_grants = self.stats.counter("vendor.stale_grants")
+        self._c_txinfo_requests = self.stats.counter("gating.txinfo_requests")
+
         self._programs = list(programs)
         self._program_params = dict(program_params or {})
         self._barriers: dict[str, _BarrierState] = {}
         self._finished = 0
+        self._raise_on_complete = False
         self.parallel_start: int | None = None
         self.parallel_end: int | None = None
         self.commit_log: list[CommittedTx] = []
@@ -199,7 +213,7 @@ class Machine:
             if not proc.accept_tid(epoch, tid):
                 # Processor aborted while the grant was in flight.
                 self.vendor.release(tid)
-                self.stats.bump("vendor.stale_grants")
+                self._c_stale_grants.add()
 
         self.bus.send_ctrl(at_vendor)
 
@@ -216,7 +230,7 @@ class Machine:
             self.bus.send_ctrl(cont, site)
 
         self.bus.send_ctrl(at_target)
-        self.stats.bump("gating.txinfo_requests")
+        self._c_txinfo_requests.add()
 
     # -- barriers --------------------------------------------------------
     def barrier_arrive(
@@ -262,6 +276,8 @@ class Machine:
     def proc_finished(self, proc_id: int) -> None:
         self._finished += 1
         self.trace.emit(self.engine.now, "proc.finished", proc=proc_id)
+        if self._raise_on_complete and self._finished >= self.config.num_procs:
+            raise _AllThreadsFinished
 
     # ------------------------------------------------------------------
     # run loop
@@ -279,16 +295,38 @@ class Machine:
             )
             self.procs[proc_id].start(program, ctx)
 
+        # The dispatch loop is the whole-simulation hot loop.  In the
+        # common (unbounded) case the engine's inlined drain loop runs
+        # and the last-finishing program stops it via the
+        # _AllThreadsFinished sentinel — no per-event method call or
+        # completion comparison.  With a cycle budget, fall back to one
+        # step() per event so the budget is enforced between events.
         max_cycles = self.config.max_cycles
         engine = self.engine
-        while self._finished < num:
-            if not engine.step():
-                raise DeadlockError(self._deadlock_report())
-            if max_cycles is not None and engine.now > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles} with "
-                    f"{num - self._finished} threads unfinished"
-                )
+        # The sentinel is armed only for the unbounded loop: the step
+        # loop must keep the historical ordering where a max_cycles
+        # overrun raises even if the offending event finished the last
+        # thread.
+        self._raise_on_complete = max_cycles is None
+        try:
+            if max_cycles is None:
+                engine.run()
+                if self._finished < num:
+                    raise DeadlockError(self._deadlock_report())
+            else:
+                step = engine.step
+                while self._finished < num:
+                    if not step():
+                        raise DeadlockError(self._deadlock_report())
+                    if engine.now > max_cycles:
+                        raise SimulationError(
+                            f"exceeded max_cycles={max_cycles} with "
+                            f"{num - self._finished} threads unfinished"
+                        )
+        except _AllThreadsFinished:
+            pass
+        finally:
+            self._raise_on_complete = False
 
         end = engine.now
         for timeline in self._timelines:

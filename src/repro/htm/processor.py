@@ -50,8 +50,6 @@ from .transaction import TxHandle, TxState, TxStatus
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .machine import Machine
 
-import numpy as np
-
 __all__ = ["Processor"]
 
 
@@ -80,11 +78,16 @@ class Processor:
         self._tx: TxState | None = None
         self._tx_gen: Generator | None = None
         self._tx_index = -1
+        self._tx_seed_index = -1
+        self._tx_seed = 0
         self._attempt = 0
         self._tx_first_start = 0
         self._commit_start = 0
         self._consecutive_aborts = 0
         self._epoch = 0
+        #: directories involved in the in-flight commit, computed once
+        #: at TID-accept time (the footprint is frozen from then on)
+        self._commit_dirs: list[int] | None = None
         #: (line, addr, epoch, in_tx, req_id) of the outstanding miss
         self._awaiting_fill: tuple[int, int, int, bool, int] | None = None
         self._fill_seq = 0
@@ -97,6 +100,38 @@ class Processor:
 
         self.finished = False
         self._prefix = f"proc{proc_id}"
+
+        # Hot-path bindings: counter/histogram handles resolved once
+        # (see repro.sim.stats — no per-access f-string keys), plus the
+        # constant hit latency every cache access schedules with.
+        stats = machine.stats
+        prefix = self._prefix
+        self._hit_latency = machine.config.cache.hit_latency
+        # Tracing is decided per run; a disabled trace must cost
+        # nothing, not even the kwargs dict an emit() call builds.
+        self._trace_on = self._trace.enabled
+        self._c_cache_hits = stats.counter(f"{prefix}.cache.hits")
+        self._c_cache_misses = stats.counter(f"{prefix}.cache.misses")
+        self._c_stale_fills = stats.counter(f"{prefix}.stale_fills")
+        self._c_proc_commits = stats.counter(f"{prefix}.commits")
+        self._c_proc_aborts = stats.counter(f"{prefix}.aborts")
+        self._c_tx_attempts = stats.counter("tx.attempts")
+        self._c_tx_commit_attempts = stats.counter("tx.commit_attempts")
+        self._c_tx_commits = stats.counter("tx.commits")
+        self._c_aborts_conflict = stats.counter("tx.aborts.conflict")
+        self._c_aborts_self = stats.counter("tx.aborts.self")
+        self._c_aborts_total = stats.counter("tx.aborts.total")
+        self._c_wasted_cycles = stats.counter("tx.wasted_cycles")
+        self._c_aborts_while_committing = stats.counter(
+            "tx.aborts_while_committing"
+        )
+        self._c_gated = stats.counter("gating.gated")
+        self._c_redundant_on = stats.counter("gating.redundant_on")
+        self._c_wakeups = stats.counter("gating.wakeups")
+        self._h_attempts_to_commit = stats.histogram("tx.attempts_to_commit")
+        self._h_tx_latency = stats.histogram("tx.latency")
+        self._h_commit_phase = stats.histogram("tx.commit_phase")
+        self._h_gated_cycles = stats.histogram("gating.gated_cycles")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -150,12 +185,12 @@ class Processor:
         line = self._addr_map.line_of(addr)
         entry = self.cache.touch(line)
         if entry is not None and not entry.partial:
-            self._stats.bump(f"{self._prefix}.cache.hits")
+            self._c_cache_hits.add()
             self._engine.schedule(
-                self._m.config.cache.hit_latency, self._plain_load_done, addr
+                self._hit_latency, self._plain_load_done, addr
             )
         else:
-            self._stats.bump(f"{self._prefix}.cache.misses")
+            self._c_cache_misses.add()
             self._set_state(ProcState.MISS)
             self._send_fill(line, addr, in_tx=False)
 
@@ -173,7 +208,7 @@ class Processor:
         self.cache.fill(self._addr_map.line_of(addr), partial=True)
         self._set_state(ProcState.RUN)
         self._engine.schedule(
-            self._m.config.cache.hit_latency, self._advance_program, None
+            self._hit_latency, self._advance_program, None
         )
 
     # ------------------------------------------------------------------
@@ -187,18 +222,27 @@ class Processor:
         self._m.note_first_tx(self._engine.now)
         self._start_attempt()
 
-    def _tx_rng(self) -> np.random.Generator:
-        seed = derive_seed(
-            self._m.config.seed, "tx", self.proc_id, self._tx_index
-        )
-        return np.random.default_rng(seed)
+    def _tx_rng_seed(self) -> int:
+        # The derived seed depends only on (config.seed, proc, tx_index),
+        # so retries of the same transaction reuse it.  The TxHandle
+        # builds a *fresh* generator from it on first use per attempt,
+        # so every attempt sees an identical stream.
+        if self._tx_seed_index != self._tx_index:
+            self._tx_seed_index = self._tx_index
+            self._tx_seed = derive_seed(
+                self._m.config.seed, "tx", self.proc_id, self._tx_index
+            )
+        return self._tx_seed
 
     def _start_attempt(self) -> None:
+        # Drop the handle first: once this callback runs (or is reached
+        # directly), the restart event must never be cancelled again —
+        # the engine's reuse pool may hand the object to a new event.
+        self._restart_event = None
         if self.gated:
             # A Stop-Clock raced with a scheduled retry; the wake-up
             # will restart the attempt instead.
             return
-        self._restart_event = None
         op = self._txop
         if op is None:  # pragma: no cover - defensive
             raise ProtocolError(f"proc {self.proc_id}: attempt with no TxOp")
@@ -209,7 +253,7 @@ class Processor:
             self._ctx.num_threads,
             op.site,
             self._attempt,
-            self._tx_rng(),
+            self._tx_rng_seed(),
         )
         tx = TxState(
             self.proc_id,
@@ -229,14 +273,15 @@ class Processor:
                 f"generator (got {type(gen).__name__})"
             )
         self._tx_gen = gen
-        self._stats.bump("tx.attempts")
-        self._trace.emit(
-            self._engine.now,
-            "tx.begin",
-            proc=self.proc_id,
-            site=op.site,
-            attempt=self._attempt,
-        )
+        self._c_tx_attempts.add()
+        if self._trace_on:
+            self._trace.emit(
+                self._engine.now,
+                "tx.begin",
+                proc=self.proc_id,
+                site=op.site,
+                attempt=self._attempt,
+            )
         self._set_state(ProcState.RUN)
         self._advance_tx(None)
 
@@ -271,7 +316,7 @@ class Processor:
         addr = self._addr_map.check_word_addr(op.addr)
         tx = self._tx
         forwarded = tx.forwarded_value(addr)
-        hit_latency = self._m.config.cache.hit_latency
+        hit_latency = self._hit_latency
         if forwarded is not None:
             # Reading our own buffered store: no read-set registration,
             # no conflict exposure.
@@ -291,10 +336,10 @@ class Processor:
         # the resulting stale-read serializability hole).
         if entry is not None and not entry.partial:
             self.cache.mark_spec_read(line)
-            self._stats.bump(f"{self._prefix}.cache.hits")
+            self._c_cache_hits.add()
             self._engine.schedule(hit_latency, self._tx_load_done, self._epoch, addr)
         else:
-            self._stats.bump(f"{self._prefix}.cache.misses")
+            self._c_cache_misses.add()
             self._set_state(ProcState.MISS)
             self._send_fill(line, addr, in_tx=True)
 
@@ -337,7 +382,7 @@ class Processor:
             or pending[0] != msg.line
             or pending[2] != self._epoch
         ):
-            self._stats.bump(f"{self._prefix}.stale_fills")
+            self._c_stale_fills.add()
             return
         line, addr, epoch, in_tx, _req_id = pending
         self._awaiting_fill = None
@@ -345,7 +390,7 @@ class Processor:
         self._set_state(ProcState.RUN)
         # The consuming load still pays the load-to-use latency after
         # the fill returns (data forwarding into the pipeline).
-        hit_latency = self._m.config.cache.hit_latency
+        hit_latency = self._hit_latency
         if in_tx:
             if self._tx is not None and line in self._tx.read_lines:
                 self.cache.mark_spec_read(line)
@@ -363,9 +408,7 @@ class Processor:
         # holds only the written words); data merges at commit.
         self.cache.fill(line, partial=True)
         self.cache.mark_spec_written(line)
-        self._engine.schedule(
-            self._m.config.cache.hit_latency, self._tx_cont, self._epoch
-        )
+        self._engine.schedule(self._hit_latency, self._tx_cont, self._epoch)
 
     # ------------------------------------------------------------------
     # commit protocol (processor side)
@@ -375,10 +418,12 @@ class Processor:
         tx.status = TxStatus.COMMITTING
         self._commit_start = self._engine.now
         self._set_state(ProcState.COMMIT)
-        self._stats.bump("tx.commit_attempts")
-        self._trace.emit(
-            self._engine.now, "tx.commit_request", proc=self.proc_id, site=tx.site
-        )
+        self._c_tx_commit_attempts.add()
+        if self._trace_on:
+            self._trace.emit(
+                self._engine.now, "tx.commit_request", proc=self.proc_id,
+                site=tx.site,
+            )
         self._m.request_tid(self, self._epoch)
 
     def accept_tid(self, epoch: int, tid: int) -> bool:
@@ -387,7 +432,11 @@ class Processor:
             return False
         tx = self._tx
         tx.tid = tid
-        for dir_id in self._involved_dirs(tx):
+        # The footprint cannot grow once the tx is COMMITTING, so the
+        # involved-directory set is computed once and reused by the
+        # finalize (and abort-while-spinning) unmark pass.
+        self._commit_dirs = self._involved_dirs(tx)
+        for dir_id in self._commit_dirs:
             self._m.dir(dir_id).mark_commit(self.proc_id)
         self._vendor.wait_for_turn(tid, lambda: self._commit_go(epoch, tid))
         return True
@@ -410,11 +459,12 @@ class Processor:
             return
         tx.flush_acks_pending = len(groups)
         line_of = self._addr_map.line_of
+        all_writes = sorted(tx.writes.items())  # once, not per directory
         for dir_id, lines in sorted(groups.items()):
             line_set = set(lines)
             writes = tuple(
                 (addr, value)
-                for addr, value in sorted(tx.writes.items())
+                for addr, value in all_writes
                 if line_of(addr) in line_set
             )
             req = FlushRequest(
@@ -438,23 +488,25 @@ class Processor:
         now = self._engine.now
         tx.status = TxStatus.COMMITTED
         self.cache.clear_speculative(tx.footprint_lines, commit=True)
-        for dir_id in self._involved_dirs(tx):
+        for dir_id in self._commit_dirs:
             self._m.dir(dir_id).unmark_commit(self.proc_id)
+        self._commit_dirs = None
         self._m.notify_commit(self.proc_id)
         self._vendor.finish(tx.tid)
         self._m.note_tx_end(now)
         if self._m.validation_mode:
             self._m.record_committed_tx(tx)
 
-        self._stats.bump("tx.commits")
-        self._stats.bump(f"{self._prefix}.commits")
-        self._stats.histogram("tx.attempts_to_commit").record(tx.attempt)
-        self._stats.histogram("tx.latency").record(now - self._tx_first_start)
-        self._stats.histogram("tx.commit_phase").record(now - self._commit_start)
-        self._trace.emit(
-            now, "tx.commit", proc=self.proc_id, site=tx.site, tid=tx.tid,
-            attempt=tx.attempt,
-        )
+        self._c_tx_commits.add()
+        self._c_proc_commits.add()
+        self._h_attempts_to_commit.record(tx.attempt)
+        self._h_tx_latency.record(now - self._tx_first_start)
+        self._h_commit_phase.record(now - self._commit_start)
+        if self._trace_on:
+            self._trace.emit(
+                now, "tx.commit", proc=self.proc_id, site=tx.site, tid=tx.tid,
+                attempt=tx.attempt,
+            )
 
         result = tx.handle.result
         self._consecutive_aborts = 0
@@ -522,15 +574,27 @@ class Processor:
                     "the completion barrier should make this impossible"
                 )
             if tx.tid is not None:
-                for dir_id in self._involved_dirs(tx):
+                for dir_id in self._commit_dirs:
                     self._m.dir(dir_id).unmark_commit(self.proc_id)
+                self._commit_dirs = None
                 self._vendor.release(tx.tid)
-                self._stats.bump("tx.aborts_while_committing")
+                self._c_aborts_while_committing.add()
 
-        kind = "conflict" if conflict else "self"
-        self._stats.bump(f"tx.aborts.{kind}")
-        self._stats.bump(f"{self._prefix}.aborts")
-        self._stats.bump("tx.wasted_cycles", now - tx.start_time)
+        # Counter semantics (see repro.sim.stats "counts versus sums"):
+        # tx.aborts.{conflict,self} and tx.aborts.total are *event
+        # counts* (one per abort); tx.wasted_cycles is the paired
+        # *cycle sum* — the cycles this attempt had invested when it
+        # died.  Rates divide counts by tx.attempts; never divide the
+        # cycle sum by anything but its paired count.
+        if conflict:
+            kind = "conflict"
+            self._c_aborts_conflict.add()
+        else:
+            kind = "self"
+            self._c_aborts_self.add()
+        self._c_aborts_total.add()
+        self._c_proc_aborts.add()
+        self._c_wasted_cycles.add(now - tx.start_time)
         self._consecutive_aborts += 1
         self._epoch += 1
         self._awaiting_fill = None
@@ -540,16 +604,17 @@ class Processor:
         tx.status = TxStatus.ABORTED
         self._tx = None
         self._tx_gen = None
-        self._trace.emit(
-            now,
-            "tx.abort",
-            proc=self.proc_id,
-            site=self._txop.site,
-            cause=kind,
-            aborter=aborter,
-            directory=from_dir,
-            gated=gate,
-        )
+        if self._trace_on:
+            self._trace.emit(
+                now,
+                "tx.abort",
+                proc=self.proc_id,
+                site=self._txop.site,
+                cause=kind,
+                aborter=aborter,
+                directory=from_dir,
+                gated=gate,
+            )
 
         if gate:
             self._enter_gated(from_dir)
@@ -574,22 +639,27 @@ class Processor:
         self._gated_by = {from_dir} if from_dir is not None else set()
         self._gate_start = self._engine.now
         self._set_state(ProcState.GATED)
-        self._stats.bump("gating.gated")
-        self._trace.emit(
-            self._engine.now, "gate.off", proc=self.proc_id, directory=from_dir
-        )
+        self._c_gated.add()
+        if self._trace_on:
+            self._trace.emit(
+                self._engine.now, "gate.off", proc=self.proc_id,
+                directory=from_dir,
+            )
 
     def receive_turn_on(self, msg: TurnOn) -> None:
         """Bus-arrival handler for the directory's "on" command."""
         if not self.gated:
-            self._stats.bump("gating.redundant_on")
+            self._c_redundant_on.add()
             return
         now = self._engine.now
         self.gated = False
         self._gated_by.clear()
-        self._stats.bump("gating.wakeups")
-        self._stats.histogram("gating.gated_cycles").record(now - self._gate_start)
-        self._trace.emit(now, "gate.on", proc=self.proc_id, directory=msg.directory)
+        self._c_wakeups.add()
+        self._h_gated_cycles.record(now - self._gate_start)
+        if self._trace_on:
+            self._trace.emit(
+                now, "gate.on", proc=self.proc_id, directory=msg.directory
+            )
         self._set_state(ProcState.RUN)
         # The paper's "Self Abort" happened (timing-equivalently) at
         # freeze; waking simply restarts the transaction.

@@ -43,6 +43,10 @@ class TokenVendor:
         self._live: set[int] = set()
         # min-heap of (tid, callback) waiting for their barrier turn
         self._waiters: list[tuple[int, Callable[[], None]]] = []
+        self._c_tids_issued = stats.counter("vendor.tids_issued")
+        self._c_barrier_waits = stats.counter("vendor.barrier_waits")
+        self._c_commits = stats.counter("vendor.commits")
+        self._c_releases = stats.counter("vendor.releases")
 
     # ------------------------------------------------------------------
     def issue(self, proc: int) -> int:
@@ -50,7 +54,7 @@ class TokenVendor:
         tid = self._next_tid
         self._next_tid += 1
         self._live.add(tid)
-        self._stats.bump("vendor.tids_issued")
+        self._c_tids_issued.add()
         return tid
 
     def min_live(self) -> int | None:
@@ -72,22 +76,22 @@ class TokenVendor:
             self._engine.schedule(0, callback)
             return
         heapq.heappush(self._waiters, (tid, callback))
-        self._stats.bump("vendor.barrier_waits")
+        self._c_barrier_waits.add()
 
     # ------------------------------------------------------------------
     def finish(self, tid: int) -> None:
         """Retire a committed TID (its flushes and invals are delivered)."""
-        self._retire(tid, "vendor.commits")
+        self._retire(tid, self._c_commits)
 
     def release(self, tid: int) -> None:
         """Retire an aborted TID (its owner rolled back while spinning)."""
-        self._retire(tid, "vendor.releases")
+        self._retire(tid, self._c_releases)
 
-    def _retire(self, tid: int, stat: str) -> None:
+    def _retire(self, tid: int, counter) -> None:
         if tid not in self._live:
             raise ProtocolError(f"retiring TID {tid} that is not live")
         self._live.remove(tid)
-        self._stats.bump(stat)
+        counter.add()
         self._drain_waiters()
 
     def _drain_waiters(self) -> None:

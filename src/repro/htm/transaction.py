@@ -42,9 +42,18 @@ class TxHandle:
     attempt, so pure re-execution makes the same choices each attempt
     (matching real re-execution of deterministic code).  Bodies that
     want attempt-dependent behaviour can mix in :attr:`attempt`.
+
+    Construction is on the abort/retry hot path, so ``rng`` accepts
+    either an integer seed — the generator is then built lazily on
+    first access, and bodies that never draw randomness (all of the
+    bundled workloads) skip ``default_rng`` construction entirely — or
+    a ready-made :class:`numpy.random.Generator`.
     """
 
-    __slots__ = ("proc_id", "num_threads", "site", "attempt", "rng", "_result")
+    __slots__ = (
+        "proc_id", "num_threads", "site", "attempt",
+        "_rng_seed", "_rng", "_result",
+    )
 
     def __init__(
         self,
@@ -52,14 +61,26 @@ class TxHandle:
         num_threads: int,
         site: str,
         attempt: int,
-        rng: np.random.Generator,
+        rng: "int | np.random.Generator",
     ):
         self.proc_id = proc_id
         self.num_threads = num_threads
         self.site = site
         self.attempt = attempt
-        self.rng = rng
+        if isinstance(rng, np.random.Generator):
+            self._rng_seed = None
+            self._rng: np.random.Generator | None = rng
+        else:
+            self._rng_seed = rng
+            self._rng = None
         self._result: Any = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        generator = self._rng
+        if generator is None:
+            generator = self._rng = np.random.default_rng(self._rng_seed)
+        return generator
 
     def set_result(self, value: Any) -> None:
         """Stash a value delivered to the program iff this attempt commits."""

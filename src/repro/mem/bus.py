@@ -38,29 +38,37 @@ class Bus:
         self._config = config
         self._stats = stats
         self._busy_until = 0
+        # Hot-path bindings: every message pays these, so the occupancy
+        # constants and counter handles are resolved once.
+        self._ctrl_occupancy = config.occupancy
+        self._data_occupancy = config.data_occupancy
+        self._wire_latency = config.wire_latency
+        self._c_messages = stats.counter("bus.messages")
+        self._c_busy_cycles = stats.counter("bus.busy_cycles")
+        self._c_queue_cycles = stats.counter("bus.queue_cycles")
 
     # ------------------------------------------------------------------
     def send_ctrl(self, fn: Callable[..., Any], *args: Any) -> int:
         """Send a control (address-only) message; returns arrival time."""
-        return self._send(self._config.occupancy, fn, *args)
+        return self._send(self._ctrl_occupancy, fn, *args)
 
     def send_data(self, fn: Callable[..., Any], *args: Any) -> int:
         """Send a data-bearing message; returns arrival time."""
-        return self._send(self._config.data_occupancy, fn, *args)
+        return self._send(self._data_occupancy, fn, *args)
 
     def _send(self, occupancy: int, fn: Callable[..., Any], *args: Any) -> int:
         engine = self._engine
-        depart = max(engine.now, self._busy_until)
-        queue_delay = depart - engine.now
-        self._busy_until = depart + occupancy
-        arrival = self._busy_until + self._config.wire_latency
+        now = engine.now
+        busy = self._busy_until
+        depart = busy if busy > now else now
+        self._busy_until = busy = depart + occupancy
+        arrival = busy + self._wire_latency
         engine.schedule_at(arrival, fn, *args)
 
-        stats = self._stats
-        stats.bump("bus.messages")
-        stats.bump("bus.busy_cycles", occupancy)
-        if queue_delay:
-            stats.bump("bus.queue_cycles", queue_delay)
+        self._c_messages.add()
+        self._c_busy_cycles.add(occupancy)
+        if depart > now:
+            self._c_queue_cycles.add(depart - now)
         return arrival
 
     # ------------------------------------------------------------------

@@ -35,7 +35,7 @@ from ..sim.stats import StatsRegistry
 __all__ = ["CacheLineState", "L1Cache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLineState:
     """One resident cache line (tags only — data is functional).
 
@@ -66,6 +66,7 @@ class L1Cache:
         self._proc_id = proc_id
         self._stats = stats
         self._num_sets = config.num_sets
+        self._set_mask = config.num_sets - 1
         self._ways = config.ways
         # set index -> {line id -> CacheLineState}
         self._sets: list[dict[int, CacheLineState]] = [
@@ -73,15 +74,21 @@ class L1Cache:
         ]
         self._use_clock = 0
         self._prefix = f"proc{proc_id}.cache"
+        # Counter handles bound once; the access paths must not build
+        # per-access dotted-name strings (see repro.sim.stats).
+        self._c_evictions = stats.counter(f"{self._prefix}.evictions")
+        self._c_spec_evictions = stats.counter(f"{self._prefix}.spec_evictions")
+        self._c_fills = stats.counter(f"{self._prefix}.fills")
+        self._c_invalidations = stats.counter(f"{self._prefix}.invalidations")
 
     # ------------------------------------------------------------------
     def set_index(self, line: int) -> int:
         """Set holding ``line`` (low-order line-number bits)."""
-        return line & (self._num_sets - 1)
+        return line & self._set_mask
 
     def lookup(self, line: int) -> CacheLineState | None:
         """Return the resident entry (without touching LRU state)."""
-        return self._sets[self.set_index(line)].get(line)
+        return self._sets[line & self._set_mask].get(line)
 
     def contains(self, line: int) -> bool:
         return self.lookup(line) is not None
@@ -89,7 +96,7 @@ class L1Cache:
     # ------------------------------------------------------------------
     def touch(self, line: int) -> CacheLineState | None:
         """LRU-touch ``line``; returns the entry if resident (a hit)."""
-        entry = self.lookup(line)
+        entry = self._sets[line & self._set_mask].get(line)
         if entry is not None:
             self._use_clock += 1
             entry.last_use = self._use_clock
@@ -107,7 +114,7 @@ class L1Cache:
         empty way, then non-speculative LRU, then speculative LRU (see
         module docstring for why evicting speculative state is safe).
         """
-        set_ = self._sets[self.set_index(line)]
+        set_ = self._sets[line & self._set_mask]
         entry = set_.get(line)
         self._use_clock += 1
         if entry is not None:
@@ -118,25 +125,35 @@ class L1Cache:
 
         victim_line: int | None = None
         if len(set_) >= self._ways:
-            non_spec = [e for e in set_.values() if not e.speculative]
-            pool = non_spec if non_spec else list(set_.values())
-            victim = min(pool, key=lambda e: e.last_use)
+            # Allocation-free victim scan: oldest non-speculative way,
+            # falling back to the oldest speculative one.  Ties keep the
+            # first-seen entry, matching min() over insertion order.
+            victim: CacheLineState | None = None
+            spec_victim: CacheLineState | None = None
+            for e in set_.values():
+                if e.spec_read or e.spec_written:
+                    if spec_victim is None or e.last_use < spec_victim.last_use:
+                        spec_victim = e
+                elif victim is None or e.last_use < victim.last_use:
+                    victim = e
+            if victim is None:
+                victim = spec_victim
             victim_line = victim.line
-            del set_[victim.line]
-            self._stats.bump(f"{self._prefix}.evictions")
-            if victim.speculative:
-                self._stats.bump(f"{self._prefix}.spec_evictions")
+            del set_[victim_line]
+            self._c_evictions.add()
+            if victim.spec_read or victim.spec_written:
+                self._c_spec_evictions.add()
 
         set_[line] = CacheLineState(line, partial=partial, last_use=self._use_clock)
-        self._stats.bump(f"{self._prefix}.fills")
+        self._c_fills.add()
         return victim_line
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` (coherence invalidation); True if it was resident."""
-        set_ = self._sets[self.set_index(line)]
+        set_ = self._sets[line & self._set_mask]
         if line in set_:
             del set_[line]
-            self._stats.bump(f"{self._prefix}.invalidations")
+            self._c_invalidations.add()
             return True
         return False
 
@@ -160,12 +177,14 @@ class L1Cache:
         memory); ``commit=False`` invalidates speculatively-modified
         lines whose contents were never architectural.
         """
+        sets = self._sets
+        mask = self._set_mask
         for line in lines:
-            entry = self.lookup(line)
+            entry = sets[line & mask].get(line)
             if entry is None:
                 continue
             if not commit and entry.spec_written:
-                del self._sets[self.set_index(line)][line]
+                del sets[line & mask][line]
                 continue
             entry.spec_read = False
             entry.spec_written = False

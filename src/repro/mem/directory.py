@@ -92,6 +92,12 @@ class Directory:
         self._machine = None  # set via attach()
         self.gating: "GatingUnit | None" = None
         self._prefix = f"dir{dir_id}"
+        self._c_fills = stats.counter(f"{self._prefix}.fills")
+        self._c_flushes = stats.counter(f"{self._prefix}.flushes")
+        self._c_lines_committed = stats.counter(
+            f"{self._prefix}.lines_committed"
+        )
+        self._c_aborts_caused = stats.counter(f"{self._prefix}.aborts_caused")
 
     # ------------------------------------------------------------------
     # wiring
@@ -135,7 +141,7 @@ class Directory:
         """Bus-arrival handler for a fill after an L1 miss."""
         self._check_home([req.line])
         self._note_request_from(req.proc, req.sent_at)
-        self._stats.bump(f"{self._prefix}.fills")
+        self._c_fills.add()
 
         start = max(self._engine.now, self._busy_until)
         self._busy_until = start + self._config.latency
@@ -171,8 +177,8 @@ class Directory:
                 f"dir {self.dir_id}: flush TID {req.tid} not after watermark "
                 f"{self.last_committed_tid} — commit order violated"
             )
-        self._stats.bump(f"{self._prefix}.flushes")
-        self._stats.bump(f"{self._prefix}.lines_committed", len(req.lines))
+        self._c_flushes.add()
+        self._c_lines_committed.add(len(req.lines))
 
         service = self._config.latency + len(req.lines) * self._config.commit_line_cycles
         start = max(self._engine.now, self._busy_until)
@@ -204,7 +210,7 @@ class Directory:
         for victim, lines in sorted(victims.items()):
             will_abort = self._machine.proc(victim).would_abort_on(lines)
             if will_abort:
-                self._stats.bump(f"{self._prefix}.aborts_caused")
+                self._c_aborts_caused.add()
                 self._trace.emit(
                     now,
                     "dir.abort",

@@ -42,6 +42,9 @@ class MainMemory:
         self._stats = stats
         self._data: dict[int, int] = {}
         self._port_busy_until = 0
+        self._size_bytes = config.size_bytes
+        self._c_accesses = stats.counter("memory.accesses")
+        self._c_port_wait = stats.counter("memory.port_wait_cycles")
         self.record_versions = record_versions
         #: (time, word_addr, value, writer_tid) tuples when recording.
         self.version_log: list[tuple[int, int, int, int]] = []
@@ -50,9 +53,9 @@ class MainMemory:
     # functional state
     # ------------------------------------------------------------------
     def _check(self, addr: int) -> int:
-        if addr < 0 or addr + WORD_BYTES > self._config.size_bytes:
+        if addr < 0 or addr + WORD_BYTES > self._size_bytes:
             raise MemoryModelError(
-                f"address {addr:#x} outside {self._config.size_bytes}-byte memory"
+                f"address {addr:#x} outside {self._size_bytes}-byte memory"
             )
         if addr % WORD_BYTES:
             raise MemoryModelError(f"address {addr:#x} is not word-aligned")
@@ -88,13 +91,14 @@ class MainMemory:
         cycles end-to-end (Table II: 100).
         """
         engine = self._engine
-        start = max(engine.now, self._port_busy_until)
+        now = engine.now
+        busy = self._port_busy_until
+        start = busy if busy > now else now
         self._port_busy_until = start + self._config.port_occupancy
         done = start + self._config.latency
         engine.schedule_at(done, fn, *args)
 
-        self._stats.bump("memory.accesses")
-        wait = start - engine.now
-        if wait:
-            self._stats.bump("memory.port_wait_cycles", wait)
+        self._c_accesses.add()
+        if start > now:
+            self._c_port_wait.add(start - now)
         return done

@@ -30,7 +30,17 @@ class TxMetricsMixin:
 
     @property
     def aborts(self) -> int:
-        """All futile re-executions (conflict aborts + wake-up self-aborts)."""
+        """All futile re-executions (conflict aborts + wake-up self-aborts).
+
+        An *event count*: reads ``tx.aborts.total`` (one increment per
+        abort), falling back to the conflict/self split for results
+        recorded before the total existed.  Never derived from
+        ``tx.wasted_cycles``, which is a cycle *sum* — see
+        :meth:`wasted_cycles`.
+        """
+        total = self.counters.get("tx.aborts.total")
+        if total is not None:
+            return total
         return self.counters.get("tx.aborts.conflict", 0) + self.counters.get(
             "tx.aborts.self", 0
         )
@@ -42,6 +52,13 @@ class TxMetricsMixin:
 
     @property
     def wasted_cycles(self) -> int:
+        """Total cycles invested in attempts that aborted.
+
+        A *cycle sum*, not an event count: each abort adds the age of
+        the dying attempt.  Its paired count is ``tx.aborts.total``
+        (exposed as :meth:`aborts`) — divide the sum by the count for
+        mean wasted work per abort, and never mix the two in a rate.
+        """
         return self.counters.get("tx.wasted_cycles", 0)
 
     def summary(self) -> str:

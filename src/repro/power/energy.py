@@ -126,17 +126,39 @@ def direct_energy(
     window: tuple[int, int],
     model: PowerModel,
 ) -> tuple[float, dict[ProcState, tuple[int, float]]]:
-    """Integrate ``P(state)`` over every processor's clipped timeline."""
+    """Integrate ``P(state)`` over every processor's clipped timeline.
+
+    Consumes the timelines' lazy array materialisation
+    (:meth:`~repro.sim.timeline.StateTimeline.as_arrays`) instead of
+    per-segment objects: clipped durations come from one vectorised
+    ``diff(clip(times))``, and the remaining per-segment work is plain
+    arithmetic.  The accumulation order (timelines in order, segments
+    in time order, zero-length clips skipped) is the same as the
+    historical segment-object loop, so totals are bit-identical.
+    """
     lo, hi = window
+    if hi < lo:
+        raise SimulationError(f"invalid clip window [{lo}, {hi})")
     total = 0.0
     by_state: dict[ProcState, tuple[int, float]] = {}
+    if hi == lo:
+        # Zero-width window: nothing to integrate, but keep the
+        # historical finalization check each clipped-segment walk did.
+        for timeline in timelines:
+            timeline.end  # noqa: B018 - raises on an unfinalized timeline
+        return total, by_state
     for timeline in timelines:
-        for seg in timeline.clipped_segments(lo, hi):
-            power = model.power_of(seg.state)
-            energy = seg.duration * power
-            total += energy
-            cycles, acc = by_state.get(seg.state, (0, 0.0))
-            by_state[seg.state] = (cycles + seg.duration, acc + energy)
+        times, codes, states = timeline.as_arrays()
+        powers = [model.power_of(s) for s in states]
+        durations = np.diff(np.clip(times, lo, hi)).tolist()
+        get = by_state.get
+        for code, duration in zip(codes.tolist(), durations):
+            if duration:
+                state = states[code]
+                energy = duration * powers[code]
+                total += energy
+                cycles, acc = get(state, (0, 0.0))
+                by_state[state] = (cycles + duration, acc + energy)
     return total, by_state
 
 
@@ -147,27 +169,23 @@ def interval_breakdown(
 ) -> IntervalBreakdown:
     """Sweep state-change events to build :math:`X_i, \\alpha_i, \\beta_i`.
 
-    One linear pass over the merged change-points: maintain, per
-    processor, whether it currently sits in a low-power state and which
-    kind; every boundary closes an interval :math:`\\Delta` attributed
-    to the current low-power population ``i``.
+    Fully vectorised over the timelines' array materialisation: each
+    timeline contributes its in-window change-points as *count deltas*
+    (did the processor enter/leave a low-power kind), a stable merge
+    sort plus cumulative sums reconstruct the low-power population
+    between every pair of boundaries, and ``np.add.at`` scatters the
+    interval lengths into :math:`X_i` and the weighted sums.  All
+    quantities are int64 throughout, so the result is exactly the one
+    the historical per-event Python sweep produced.
     """
     lo, hi = window
+    if hi < lo:
+        raise SimulationError(f"invalid clip window [{lo}, {hi})")
     p = len(timelines)
     x = np.zeros(p + 1, dtype=np.int64)
     miss_w = np.zeros(p + 1, dtype=np.int64)
     commit_w = np.zeros(p + 1, dtype=np.int64)
     gate_w = np.zeros(p + 1, dtype=np.int64)
-
-    # Event list: (time, proc, new_state) clipped to the window.
-    events: list[tuple[int, int, ProcState]] = []
-    current: list[ProcState] = []
-    for proc, timeline in enumerate(timelines):
-        current.append(timeline.state_at(lo) if hi > lo else ProcState.RUN)
-        for seg in timeline.clipped_segments(lo, hi):
-            if seg.start > lo:
-                events.append((seg.start, proc, seg.state))
-    events.sort(key=lambda e: e[0])
 
     def classify(state: ProcState) -> int:
         # 0 = not low-power, 1 = miss, 2 = commit, 3 = gated
@@ -179,39 +197,70 @@ def interval_breakdown(
             return 2
         return 3
 
-    kinds = [classify(s) for s in current]
-    n_low = sum(1 for k in kinds if k)
-    n_miss = sum(1 for k in kinds if k == 1)
-    n_commit = sum(1 for k in kinds if k == 2)
-    n_gate = sum(1 for k in kinds if k == 3)
+    # Initial per-kind populations at `lo`, plus per-timeline deltas at
+    # every change-point strictly inside (lo, hi).
+    n0 = [0, 0, 0, 0]  # [low, miss, commit, gate]
+    t_parts: list[np.ndarray] = []
+    d_parts: list[np.ndarray] = []
+    for timeline in timelines:
+        state0 = timeline.state_at(lo) if hi > lo else ProcState.RUN
+        k0 = classify(state0)
+        if k0:
+            n0[0] += 1
+            n0[k0] += 1
+        if hi <= lo:
+            continue
+        times, codes, states = timeline.as_arrays()
+        kind_of = np.asarray([classify(s) for s in states], dtype=np.int64)
+        kinds = kind_of[codes]
+        starts = times[:-1]
+        idx = np.nonzero((starts > lo) & (starts < hi))[0]
+        if idx.size == 0:
+            continue
+        # idx >= 1 always: times[0] is the timeline start, which cannot
+        # exceed `lo` (state_at(lo) above would have raised), so every
+        # in-window event has an in-array predecessor carrying the kind
+        # the processor held just before the change.
+        new_k = kinds[idx]
+        old_k = kinds[idx - 1]
+        t_parts.append(starts[idx])
+        d_parts.append(np.stack([
+            (new_k != 0).astype(np.int64) - (old_k != 0),
+            (new_k == 1).astype(np.int64) - (old_k == 1),
+            (new_k == 2).astype(np.int64) - (old_k == 2),
+            (new_k == 3).astype(np.int64) - (old_k == 3),
+        ]))
 
-    cursor = lo
-    idx = 0
-    n_events = len(events)
-    while idx <= n_events:
-        boundary = events[idx][0] if idx < n_events else hi
-        if boundary > cursor:
-            delta = boundary - cursor
-            if n_low:
-                x[n_low] += delta
-                miss_w[n_low] += n_miss * delta
-                commit_w[n_low] += n_commit * delta
-                gate_w[n_low] += n_gate * delta
-            cursor = boundary
-        if idx >= n_events:
-            break
-        # apply all events at this boundary
-        while idx < n_events and events[idx][0] == boundary:
-            _, proc, state = events[idx]
-            old = kinds[proc]
-            new = classify(state)
-            if old != new:
-                n_low += (new != 0) - (old != 0)
-                n_miss += (new == 1) - (old == 1)
-                n_commit += (new == 2) - (old == 2)
-                n_gate += (new == 3) - (old == 3)
-                kinds[proc] = new
-            idx += 1
+    if hi > lo:
+        if t_parts:
+            all_t = np.concatenate(t_parts)
+            all_d = np.concatenate(d_parts, axis=1)
+            order = np.argsort(all_t, kind="stable")
+            t_sorted = all_t[order]
+            d_sorted = all_d[:, order]
+            counts = n0[0] + np.cumsum(d_sorted[0])
+            n_low = np.concatenate(([n0[0]], counts))
+            n_miss = np.concatenate(([n0[1]], n0[1] + np.cumsum(d_sorted[1])))
+            n_commit = np.concatenate(([n0[2]], n0[2] + np.cumsum(d_sorted[2])))
+            n_gate = np.concatenate(([n0[3]], n0[3] + np.cumsum(d_sorted[3])))
+            bounds = np.concatenate(
+                (np.asarray([lo], dtype=np.int64), t_sorted,
+                 np.asarray([hi], dtype=np.int64))
+            )
+        else:
+            n_low = np.asarray([n0[0]], dtype=np.int64)
+            n_miss = np.asarray([n0[1]], dtype=np.int64)
+            n_commit = np.asarray([n0[2]], dtype=np.int64)
+            n_gate = np.asarray([n0[3]], dtype=np.int64)
+            bounds = np.asarray([lo, hi], dtype=np.int64)
+        deltas = np.diff(bounds)
+        mask = (deltas > 0) & (n_low > 0)
+        population = n_low[mask]
+        length = deltas[mask]
+        np.add.at(x, population, length)
+        np.add.at(miss_w, population, n_miss[mask] * length)
+        np.add.at(commit_w, population, n_commit[mask] * length)
+        np.add.at(gate_w, population, n_gate[mask] * length)
 
     return IntervalBreakdown(
         num_procs=p,

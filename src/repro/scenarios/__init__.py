@@ -20,7 +20,7 @@ The scenario layer turns evaluation matrices into *data*:
 from .builtin import available_suites, get_suite, register_suite, suite_help
 from .runner import ScenarioResult, SuiteRun, run_specs, run_suite
 from .spec import SCENARIO_SCHEMA_VERSION, ScenarioSpec, scenario
-from .suite import ScenarioSuite, suite
+from .suite import ScenarioSuite, load_suite_file, suite
 
 __all__ = [
     "SCENARIO_SCHEMA_VERSION",
@@ -28,6 +28,7 @@ __all__ = [
     "scenario",
     "ScenarioSuite",
     "suite",
+    "load_suite_file",
     "ScenarioResult",
     "SuiteRun",
     "run_specs",

@@ -27,12 +27,13 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..errors import WorkloadError
 from .spec import ScenarioSpec
 
-__all__ = ["ScenarioSuite", "suite"]
+__all__ = ["ScenarioSuite", "suite", "load_suite_file"]
 
 _SPEC_FIELDS = ("workload", "scale", "threads", "seed", "gating", "w0", "cm")
 
@@ -165,6 +166,31 @@ def _apply_axis(spec: ScenarioSpec, axis: str, value: Any) -> ScenarioSpec:
         return spec.with_updates(params={axis[len("params."):]: value})
     # bare name: a workload parameter (schema validation catches typos)
     return spec.with_updates(params={axis: value})
+
+
+def load_suite_file(path: str | Path) -> ScenarioSuite:
+    """Load a user-defined suite from a JSON file.
+
+    The file holds exactly what :meth:`ScenarioSuite.to_json` writes —
+    ``{"name", "description", "base": {spec fields}, "axes": [[axis,
+    values], ...]}`` — so ``repro suite describe --suite NAME --json``
+    output (wrapped as a ``base``) or a hand-written grid both work.
+    A suite with no ``name`` field is named after the file stem.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read suite file {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise WorkloadError(f"suite file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WorkloadError(f"suite file {path} must hold a JSON object")
+    if not data.get("name"):
+        data = dict(data, name=path.stem)
+    return ScenarioSuite.from_dict(data)
 
 
 def suite(

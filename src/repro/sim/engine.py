@@ -21,45 +21,95 @@ Design notes
   ``max_events`` safety valve guard against runaway simulations; the
   HTM layer installs a deadlock watchdog on top (see
   :mod:`repro.htm.machine`).
+
+Hot-path engineering (PR 3; measured by ``repro bench bench_engine``)
+---------------------------------------------------------------------
+Every simulated cycle pays the dispatch loop, so it is built around
+three constant-factor decisions:
+
+* :class:`Event` **is** its own heap entry — a ``list`` subclass laid
+  out as ``[time, seq, fn, args]``.  ``heapq`` then orders events with
+  C-level list comparison (which never looks past the unique ``seq``),
+  instead of calling a Python-level ``__lt__`` per sift step.
+* A bounded **event reuse pool**: executed and dead-popped entries are
+  reinitialised in place by the next ``schedule`` instead of being
+  reallocated.  The safety contract is that an :class:`Event` handle
+  must not be touched after it has fired — every holder in this
+  codebase clears its reference in (or before) the fired callback, and
+  a cancelled handle is dropped by its holder at cancel time.
+* **Zero-arg fast path**: events scheduled without arguments store
+  ``None`` and are invoked as ``fn()``, skipping tuple unpacking.
+
+``heappush``/``heappop`` are bound once at import and passed as default
+arguments into the hot methods, avoiding a global lookup per event.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
 
 __all__ = ["Event", "Engine"]
 
+#: Upper bound on recycled Event objects kept per engine.  Sized to the
+#: in-flight event population of a 16-processor machine with slack; the
+#: pool exists to stop steady-state allocation, not to cache bursts.
+_POOL_MAX = 512
 
-class Event:
+
+class Event(list):
     """A scheduled callback.  Returned by :meth:`Engine.schedule`.
 
-    Instances order by ``(time, seq)`` which gives the deterministic
-    execution order described in the module docstring.
+    The instance is simultaneously the caller-facing handle and the
+    heap entry ``[time, seq, fn, args]``; instances order by
+    ``(time, seq)`` through plain list comparison, which gives the
+    deterministic execution order described in the module docstring.
+    ``args`` is ``None`` for zero-argument callbacks (the fast path).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("cancelled",)
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 args: tuple | None):
+        list.__init__(self, (time, seq, fn, args))
         self.cancelled = False
 
-    def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+    # Named access for callers and debugging; hot code indexes directly.
+    @property
+    def time(self) -> int:
+        return self[0]
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def fn(self) -> Callable[..., Any]:
+        return self[2]
+
+    @property
+    def args(self) -> tuple:
+        return self[3] if self[3] is not None else ()
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped.
+
+        Must only be called while the event is still pending.  Once it
+        has fired (or been dead-popped) the handle is expired: the
+        engine marks it cancelled and may recycle the object for a
+        future ``schedule`` call, so a late ``cancel()`` is a no-op at
+        best and, after reuse, would silently kill an unrelated event.
+        Holders must drop their reference in (or before) the fired
+        callback — see the module docstring's pool contract.
+        """
+        self.cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
-        name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time} seq={self.seq} {name}{state}>"
+        name = getattr(self[2], "__qualname__", repr(self[2]))
+        return f"<Event t={self[0]} seq={self[1]} {name}{state}>"
 
 
 class Engine:
@@ -74,43 +124,100 @@ class Engine:
         self.now: int = 0
         self._queue: list[Event] = []
         self._seq: int = 0
+        self._pool: list[Event] = []
         self.events_executed: int = 0
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(
+        self, delay: int, fn: Callable[..., Any], *args: Any, _push=heappush
+    ) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        # schedule() is the hottest entry point (every memory access,
+        # bus hop and continuation passes through it), so the body of
+        # schedule_at is inlined here rather than delegated to.
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule into the past (delay={delay} at t={self.now})"
             )
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event[0] = time
+            event[1] = seq
+            event[2] = fn
+            event[3] = args or None
+            event.cancelled = False
+        else:
+            event = Event(time, seq, fn, args or None)
+        _push(self._queue, event)
+        return event
 
-    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule_at(
+        self, time: int, fn: Callable[..., Any], *args: Any, _push=heappush
+    ) -> Event:
         """Schedule ``fn(*args)`` at absolute cycle ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event[0] = time
+            event[1] = seq
+            event[2] = fn
+            event[3] = args or None
+            event.cancelled = False
+        else:
+            event = Event(time, seq, fn, args or None)
+        _push(self._queue, event)
         return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a finished heap entry to the reuse pool.
+
+        The expired handle reads as cancelled so a (contract-breaking)
+        late ``cancel()`` in the fire-to-reuse window is a no-op.
+        """
+        if len(self._pool) < _POOL_MAX:
+            event.cancelled = True
+            event[2] = None  # release the callback and its closure
+            event[3] = None  # release argument references
+            self._pool.append(event)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
+    def step(self, _pop=heappop) -> bool:
         """Execute the next live event.  Returns False when queue is empty."""
         queue = self._queue
+        pool = self._pool
         while queue:
-            event = heapq.heappop(queue)
+            event = _pop(queue)
             if event.cancelled:
+                # Cold branch: dead-popping is rare, a method call is fine.
+                self._recycle(event)
                 continue
-            self.now = event.time
+            self.now = event[0]
             self.events_executed += 1
-            event.fn(*event.args)
+            fn = event[2]
+            args = event[3]
+            if args is None:
+                fn()
+            else:
+                fn(*args)
+            # _recycle() inlined — this runs once per executed event.
+            if len(pool) < _POOL_MAX:
+                event.cancelled = True
+                event[2] = event[3] = None
+                pool.append(event)
             return True
         return False
 
@@ -118,6 +225,7 @@ class Engine:
         self,
         until: int | None = None,
         max_events: int | None = None,
+        _pop=heappop,
     ) -> None:
         """Drain the event queue.
 
@@ -130,15 +238,44 @@ class Engine:
             Abort with :class:`SimulationError` after this many events —
             a safety valve against protocol livelock bugs.
         """
-        executed = 0
         queue = self._queue
+        if until is None and max_events is None:
+            # Unbounded drain: inline the dispatch loop (no per-event
+            # method call, no head peeking).
+            pool = self._pool
+            executed = 0
+            try:
+                while queue:
+                    event = _pop(queue)
+                    if event.cancelled:
+                        # Cold branch: dead-popping is rare.
+                        self._recycle(event)
+                        continue
+                    self.now = event[0]
+                    executed += 1
+                    fn = event[2]
+                    args = event[3]
+                    if args is None:
+                        fn()
+                    else:
+                        fn(*args)
+                    # _recycle() inlined — once per executed event.
+                    if len(pool) < _POOL_MAX:
+                        event.cancelled = True
+                        event[2] = event[3] = None
+                        pool.append(event)
+            finally:
+                self.events_executed += executed
+            return
+
+        executed = 0
         while queue:
             # Peek past cancelled heads without executing them.
             head = queue[0]
             if head.cancelled:
-                heapq.heappop(queue)
+                self._recycle(_pop(queue))
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head[0] > until:
                 return
             if not self.step():  # pragma: no cover - guarded by `while queue`
                 return
@@ -157,7 +294,7 @@ class Engine:
         """Time of the earliest live event, or ``None`` if drained."""
         for event in sorted(self._queue):
             if not event.cancelled:
-                return event.time
+                return event[0]
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

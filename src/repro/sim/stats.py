@@ -2,8 +2,38 @@
 
 ``Counter`` and ``Histogram`` are intentionally tiny — the hot path of
 the simulator increments counters millions of times, so they avoid any
-indirection beyond a dict access.  ``StatsRegistry`` groups them under
-dotted names so run results can be serialized/merged uniformly.
+indirection beyond an attribute add.  ``StatsRegistry`` groups them
+under dotted names so run results can be serialized/merged uniformly.
+
+Handle binding (the hot-path contract)
+--------------------------------------
+Components resolve their counters **once, at construction**::
+
+    self._c_hits = stats.counter("proc0.cache.hits")   # wiring time
+    ...
+    self._c_hits.add()                                 # hot path
+
+``StatsRegistry.bump`` (name-keyed, builds the dotted string per call)
+is kept for cold paths and tests, but per-access f-string keys are a
+measured hot-path cost (see ``docs/performance.md``) and must not be
+reintroduced inside the simulation inner loop.
+
+Counts versus sums
+------------------
+A ``Counter`` is a plain accumulator; the registry does not distinguish
+*event counts* (``tx.commits`` — one ``add()`` per occurrence) from
+*cycle/quantity sums* (``tx.wasted_cycles``, ``bus.busy_cycles`` — an
+``add(amount)`` per occurrence).  By convention every sum-semantics
+counter is paired with an event count in the same namespace (e.g.
+``tx.aborts.total`` counts the aborts whose cycles ``tx.wasted_cycles``
+sums), so reporting can always distinguish a rate from a total.  New
+sum-semantics counters must follow the pairing convention and say
+"cycles"/"sum" in their name.
+
+Serialization keeps the pre-registration invisible: a counter appears
+in :meth:`StatsRegistry.counters` only once it has accumulated a
+nonzero total, so constructing handles eagerly does not change the
+serialized result of a run.
 """
 
 from __future__ import annotations
@@ -15,7 +45,7 @@ __all__ = ["Counter", "Histogram", "StatsRegistry"]
 
 
 class Counter:
-    """A named monotonic counter."""
+    """A named monotonic accumulator (an event count or a quantity sum)."""
 
     __slots__ = ("name", "value")
 
@@ -53,12 +83,15 @@ class Histogram:
         self.count += 1
         self.total += value
         self._sumsq += value * value
-        if self.min is None or value < self.min:
+        mn = self.min
+        if mn is None or value < mn:
             self.min = value
-        if self.max is None or value > self.max:
+        mx = self.max
+        if mx is None or value > mx:
             self.max = value
         bucket = value.bit_length() if value > 0 else 0
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        buckets = self.buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
 
     def record_many(self, values: Iterable[int]) -> None:
         for v in values:
@@ -94,6 +127,12 @@ class StatsRegistry:
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
+        """Resolve (creating if needed) the counter handle for ``name``.
+
+        Hot-path consumers call this once at construction and keep the
+        returned object; the same name always resolves to the same
+        handle, so components sharing a counter share its total.
+        """
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
@@ -106,7 +145,7 @@ class StatsRegistry:
         return h
 
     def bump(self, name: str, amount: int = 1) -> None:
-        """Shorthand for ``counter(name).add(amount)``."""
+        """Shorthand for ``counter(name).add(amount)`` (cold paths only)."""
         self.counter(name).add(amount)
 
     def get(self, name: str, default: int = 0) -> int:
@@ -114,15 +153,34 @@ class StatsRegistry:
         return c.value if c is not None else default
 
     def counters(self) -> dict[str, int]:
-        return {k: c.value for k, c in sorted(self._counters.items())}
+        """Nonzero counter totals, sorted by dotted name.
+
+        Zero-valued counters are omitted so that eagerly binding a
+        handle (which registers the name) is indistinguishable, in
+        serialized results, from never having touched the counter —
+        the pre-handle-binding encoding emitted exactly the counters
+        that had been bumped.
+        """
+        return {
+            k: c.value
+            for k, c in sorted(self._counters.items())
+            if c.value != 0
+        }
 
     def histograms(self) -> dict[str, Histogram]:
-        return dict(sorted(self._histograms.items()))
+        """Histograms holding at least one sample, sorted by name.
+
+        Empty histograms are omitted for the same reason zero-valued
+        counters are: eager handle binding must not change output.
+        """
+        return {
+            k: h for k, h in sorted(self._histograms.items()) if h.count
+        }
 
     def as_dict(self) -> dict[str, object]:
         """Flatten to plain data (for reports / EXPERIMENTS.md tables)."""
         out: dict[str, object] = dict(self.counters())
-        for name, h in self._histograms.items():
+        for name, h in self.histograms().items():
             out[f"{name}.count"] = h.count
             out[f"{name}.mean"] = h.mean
             out[f"{name}.min"] = h.min

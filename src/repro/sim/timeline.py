@@ -10,12 +10,22 @@ interval formulation Eqs. (1)–(5) — both must agree).
 States are deliberately kept as plain strings/enums owned by the caller;
 the timeline is a generic change-point recorder so it can be unit- and
 property-tested independently of the HTM.
+
+Recording is run-length by construction — only *changes* are stored,
+as parallel ``times``/``states`` lists — and materialisation is lazy:
+:meth:`StateTimeline.as_arrays` exposes the change-points as cached
+numpy arrays (times plus small-integer state codes) once the timeline
+is finalized, which is what the energy layer's interval sweep consumes
+directly instead of per-segment Python objects
+(:mod:`repro.power.energy`; measured by ``repro bench bench_timeline``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Generic, Hashable, Iterator, Sequence, TypeVar
+
+import numpy as np
 
 from ..errors import SimulationError
 
@@ -46,10 +56,15 @@ class StateTimeline(Generic[S]):
     segments are dropped at finalisation).
     """
 
+    __slots__ = ("_times", "_states", "_finalized_end", "_arrays")
+
     def __init__(self, initial_state: S, start: int = 0) -> None:
         self._times: list[int] = [start]
         self._states: list[S] = [initial_state]
         self._finalized_end: int | None = None
+        #: lazy (times, codes, states) materialisation; valid only after
+        #: finalize() since the timeline is immutable from then on
+        self._arrays: tuple[np.ndarray, np.ndarray, list[S]] | None = None
 
     # ------------------------------------------------------------------
     # recording
@@ -112,6 +127,41 @@ class StateTimeline(Generic[S]):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, list[S]]:
+        """Change-points as numpy arrays (lazy; requires finalization).
+
+        Returns ``(times, codes, states)`` where ``times`` is an
+        ``int64`` array of length ``n + 1`` — the ``n`` change-point
+        cycles followed by the finalized end — and ``codes`` is an
+        ``int64`` array of length ``n`` giving, per segment, an index
+        into ``states`` (the distinct states in first-appearance
+        order).  Segment ``j`` thus spans ``[times[j], times[j + 1])``
+        in state ``states[codes[j]]``.
+
+        The tuple is computed once and cached: a finalized timeline is
+        immutable, and the energy layer sweeps it several times (direct
+        integration plus the interval formulation).
+        """
+        arrays = self._arrays
+        if arrays is None:
+            end = self.end  # raises if not finalized
+            index: dict[S, int] = {}
+            states: list[S] = []
+            codes = []
+            for s in self._states:
+                i = index.get(s)
+                if i is None:
+                    i = index[s] = len(states)
+                    states.append(s)
+                codes.append(i)
+            times = np.empty(len(self._times) + 1, dtype=np.int64)
+            times[:-1] = self._times
+            times[-1] = end
+            arrays = self._arrays = (
+                times, np.asarray(codes, dtype=np.int64), states
+            )
+        return arrays
+
     def segments(self) -> list[Segment[S]]:
         """Maximal constant-state segments tiling ``[start, end)``."""
         end = self.end
@@ -177,23 +227,31 @@ def verify_tiling(timelines: Sequence[StateTimeline], lo: int, hi: int) -> None:
 
     Invariant 6 of DESIGN.md.  Called by the harness after each run when
     self-checks are enabled; also exercised directly by tests.
+
+    The change-point representation makes interior gaps structurally
+    impossible — consecutive clipped segments share a boundary by
+    construction — so the invariant reduces to a constant-time coverage
+    check per timeline: the recording must begin at or before ``lo``
+    and be finalized at or after ``hi``.
     """
+    if hi < lo:
+        raise SimulationError(f"invalid clip window [{lo}, {hi})")
+    if hi == lo:
+        # Zero-width window: nothing to cover, but still insist the
+        # timelines are finalized (matching the historical behaviour of
+        # walking their clipped segments).
+        for tl in timelines:
+            tl.end  # noqa: B018 - raises on an unfinalized timeline
+        return
     for idx, tl in enumerate(timelines):
-        segs = tl.clipped_segments(lo, hi)
-        if hi == lo:
-            continue
-        if not segs:
+        start, end = tl.start, tl.end
+        if start >= hi or end <= lo:
             raise SimulationError(f"timeline {idx} empty over [{lo}, {hi})")
-        if segs[0].start != lo or segs[-1].end != hi:
+        if start > lo or end < hi:
             raise SimulationError(
                 f"timeline {idx} does not cover [{lo}, {hi}): "
-                f"covers [{segs[0].start}, {segs[-1].end})"
+                f"covers [{max(start, lo)}, {min(end, hi)})"
             )
-        for a, b in zip(segs, segs[1:]):
-            if a.end != b.start:
-                raise SimulationError(
-                    f"timeline {idx} has a gap/overlap at [{a.end}, {b.start})"
-                )
 
 
 __all__.append("verify_tiling")

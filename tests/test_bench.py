@@ -1,0 +1,149 @@
+"""The repro.bench subsystem: timing discipline, benches, reports, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    available_benchmarks,
+    bench_payload,
+    compare_payloads,
+    load_bench_json,
+    run_benchmarks,
+    run_timed,
+    write_bench_json,
+)
+from repro.bench.core import BenchResult
+from repro.cli import main
+from repro.errors import BenchmarkError
+
+
+class TestRunTimed:
+    def test_warmup_and_repeats_discipline(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 10
+
+        result = run_timed(fn, name="t", unit="ops", repeats=3, warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert result.repeats == 3
+        assert result.warmup == 2
+        assert result.units_per_repeat == 10
+        assert result.best_seconds <= result.mean_seconds + 1e-12
+        assert result.units_per_second > 0
+
+    def test_rejects_variable_work(self):
+        counts = iter([5, 6, 7])
+        with pytest.raises(BenchmarkError, match="fixed work"):
+            run_timed(lambda: next(counts), name="t", unit="ops",
+                      repeats=3, warmup=0)
+
+    def test_rejects_bad_unit_count(self):
+        with pytest.raises(BenchmarkError, match="positive unit count"):
+            run_timed(lambda: 0, name="t", unit="ops", repeats=1, warmup=0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(BenchmarkError):
+            run_timed(lambda: 1, name="t", unit="ops", repeats=0)
+        with pytest.raises(BenchmarkError):
+            run_timed(lambda: 1, name="t", unit="ops", repeats=1, warmup=-1)
+
+    def test_result_round_trips(self):
+        result = run_timed(lambda: 7, name="t", unit="ops", repeats=2,
+                           warmup=0, meta={"k": 1})
+        assert BenchResult.from_dict(result.to_dict()) == result
+
+
+class TestBenchmarks:
+    def test_registry_names(self):
+        names = available_benchmarks()
+        assert "bench_engine" in names
+        assert "bench_stats" in names
+        assert "bench_e2e_suite" in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown benchmark"):
+            run_benchmarks(names=["bench_nope"], check=True)
+
+    def test_check_mode_runs_everything(self):
+        results = run_benchmarks(check=True, repeats=1, warmup=0)
+        assert [r.name for r in results] == available_benchmarks()
+        for r in results:
+            assert r.units_per_second > 0
+            assert r.meta.get("check") is True
+
+    def test_e2e_suite_counts_cold_executions(self):
+        (result,) = run_benchmarks(
+            names=["bench_e2e_suite"], check=True
+        )
+        # the smoke suite dedups 4 scenarios to 3 unique jobs, and the
+        # cold-cache contract means all 3 actually execute
+        assert result.units_per_repeat == 3
+        assert result.unit == "sims"
+
+
+class TestReports:
+    def test_payload_and_comparison(self, tmp_path):
+        results = run_benchmarks(names=["bench_stats"], check=True,
+                                 repeats=1, warmup=0)
+        before = bench_payload(results, label="before")
+        after = bench_payload(results, label="after")
+        comparison = compare_payloads(before, after)
+        assert comparison["kind"] == "comparison"
+        assert comparison["speedup"]["bench_stats"] == pytest.approx(1.0)
+
+        path = write_bench_json(tmp_path / "BENCH_test.json", comparison)
+        loaded = load_bench_json(path)
+        assert loaded["speedup"] == comparison["speedup"]
+
+    def test_comparison_rejects_non_bench(self):
+        with pytest.raises(BenchmarkError, match="not a bench session"):
+            compare_payloads({"kind": "comparison"}, {"kind": "bench"})
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("not json")
+        with pytest.raises(BenchmarkError):
+            load_bench_json(path)
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_engine" in out
+
+    def test_check_run_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_ci.json"
+        code = main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--out", str(out_path),
+            "--label", "ci",
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "bench"
+        assert payload["label"] == "ci"
+        assert "bench_stats" in payload["benchmarks"]
+        assert "bench_stats" in capsys.readouterr().out
+
+    def test_baseline_comparison(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        out_path = tmp_path / "BENCH_cmp.json"
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--out", str(base),
+        ]) == 0
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0",
+            "--baseline", str(base), "--out", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "comparison"
+        assert "bench_stats" in payload["speedup"]
+        assert "vs baseline" in capsys.readouterr().out

@@ -1,12 +1,37 @@
-"""Invariant 10: bit-reproducibility of whole simulations."""
+"""Invariant 10: bit-reproducibility of whole simulations.
+
+Two layers of regression protection:
+
+* run-to-run — the same seed and configuration must reproduce every
+  observable of a run exactly (fingerprint tests below);
+* version-to-version — the PR 3 hot-path rewrite froze the ``smoke``
+  suite's pre-refactor job digests and full serialized results into
+  ``tests/data/smoke_golden.json``; the golden tests prove the rewrite
+  (and any future "make it faster" change) leaves both the cache keys
+  and the simulated numbers bit-identical.
+"""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.config import SystemConfig
+from repro.exec.executor import Executor
+from repro.exec.serialize import result_to_dict
+from repro.exec.store import ResultStore
 from repro.harness.runner import run_workload, workload
+from repro.scenarios.builtin import get_suite
+from repro.scenarios.runner import run_suite
 from repro.workloads.registry import available_workloads
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "smoke_golden.json"
+
+#: Counters introduced (deliberately) after the golden was captured.
+#: Everything else in a result must match the golden byte for byte.
+COUNTERS_ADDED_SINCE_GOLDEN = {"tx.aborts.total"}
 
 
 def fingerprint(result) -> tuple:
@@ -56,3 +81,73 @@ def test_all_workloads_reproducible_quick():
         assert fingerprint(run_workload(spec, config)) == fingerprint(
             run_workload(spec, config)
         ), name
+
+
+# ----------------------------------------------------------------------
+# version-to-version regression: the pre-refactor golden
+# ----------------------------------------------------------------------
+def _run_smoke_suite(store: ResultStore | None = None):
+    suite = get_suite("smoke", scale="tiny", seed=0)
+    return run_suite(suite, executor=Executor(jobs=1, store=store))
+
+
+def test_smoke_suite_matches_pre_refactor_golden():
+    """Digests and results must match the frozen pre-PR3 capture.
+
+    The job digest is the result-cache key: if it moves, every cached
+    result in every store silently invalidates.  The result payload is
+    the simulation's observable outcome: parallel window, end cycle,
+    full energy breakdown (exact floats) and every counter.  Only the
+    counters listed in COUNTERS_ADDED_SINCE_GOLDEN may differ — by
+    existing — and each addition must be documented there.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    gold = {e["digest"]: e["result"] for e in golden["entries"]}
+
+    outcome = _run_smoke_suite()
+    fresh: dict[str, dict] = {}
+    for entry in outcome.results:
+        fresh[entry.spec.to_job().digest] = result_to_dict(entry.result)
+
+    assert sorted(fresh) == sorted(gold), (
+        "RunJob digests changed — cached results would invalidate"
+    )
+    for digest, golden_result in gold.items():
+        result = dict(fresh[digest])
+        counters = {
+            k: v
+            for k, v in result.pop("counters").items()
+            if k not in COUNTERS_ADDED_SINCE_GOLDEN
+        }
+        golden_counters = dict(golden_result)
+        expected_counters = golden_counters.pop("counters")
+        assert result == golden_counters, f"result fields drifted ({digest[:12]})"
+        assert counters == expected_counters, f"counters drifted ({digest[:12]})"
+
+
+def test_smoke_suite_store_jsonl_byte_identical(tmp_path):
+    """Two cold runs must write byte-identical ResultStore logs.
+
+    Runs the smoke suite twice into two fresh stores and compares the
+    ``results.jsonl`` files record by record: identical digest sets and
+    byte-identical serialized results.  Only the ``created`` wall-clock
+    stamp (metadata, not content) is excluded from the comparison.
+    """
+    logs = []
+    for name in ("a", "b"):
+        store = ResultStore(tmp_path / name)
+        _run_smoke_suite(store=store)
+        lines = (tmp_path / name / "results.jsonl").read_text().splitlines()
+        records = []
+        for line in lines:
+            record = json.loads(line)
+            record.pop("created")
+            # re-encode canonically so the byte comparison is on content
+            records.append(json.dumps(record, sort_keys=True))
+        logs.append(records)
+
+    assert logs[0] == logs[1]
+    digests = [
+        {json.loads(r)["digest"] for r in log} for log in logs
+    ]
+    assert digests[0] == digests[1] and len(digests[0]) == 3
