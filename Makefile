@@ -1,16 +1,21 @@
 # Developer entry points.  `make smoke` is the PR gate: tier-1 tests
 # plus one cached parallel sweep end-to-end (see scripts/smoke.sh).
+# `make smoke-sharded` checks shard/merge/plan against both store
+# backends (see scripts/smoke_sharded.sh).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-check bench-exec clean-cache
+.PHONY: test smoke smoke-sharded bench bench-check bench-exec clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke: test
 	bash scripts/smoke.sh
+
+smoke-sharded:
+	bash scripts/smoke_sharded.sh
 
 bench:
 	$(PYTHON) -m repro bench
@@ -22,4 +27,4 @@ bench-exec:
 	$(PYTHON) benchmarks/bench_exec_scaling.py
 
 clean-cache:
-	rm -rf .repro-cache .smoke-cache
+	rm -rf .repro-cache .smoke-cache .smoke-shard

@@ -6,18 +6,23 @@ Commands
 ``compare``     paired with/without-gating comparison (Figs. 4–6 metrics)
 ``evaluate``    the paper's evaluation grid + Section VIII averages
 ``sweep``       Fig. 7 W0 sensitivity for one workload
-``suite``       declarative scenario suites: ``list``, ``describe``, ``run``
+``suite``       declarative scenario suites: ``list``, ``describe``,
+                ``run`` (optionally ``--shard K/N``), ``plan``
+                (cache-aware hit/miss map, no simulation), ``merge``
+                (fold shard result stores into one)
 ``bench``       hot-path benchmarks with ``BENCH_*.json`` output
 ``cache-power`` the Fig. 3 TCC-cache power analysis
 ``exec-status`` inspect (or ``--prune``) a result-cache directory
 ``list``        available workloads and contention managers
 
-Execution control (``compare``, ``evaluate``, ``sweep``)
---------------------------------------------------------
+Execution control (``compare``, ``evaluate``, ``sweep``, ``suite run``)
+-----------------------------------------------------------------------
 ``--jobs N``       fan simulation runs across N worker processes
                    (``0`` = one per CPU; default 1 = serial)
 ``--cache-dir P``  content-addressed result cache: re-running an
                    unchanged figure or sweep performs zero simulations
+``--store B``      cache backend: ``jsonl``, ``sqlite``, or ``auto``
+                   (detect from the cache directory; default)
 ``--no-cache``     ignore ``--cache-dir`` for this invocation
 ``--progress``     per-job status lines + batch speed-up on stderr
 """
@@ -32,6 +37,8 @@ from typing import Sequence
 from .analysis.runreport import run_report
 from .cm.registry import available_cms
 from .config import GatingConfig, SystemConfig
+from .errors import ExecutionError
+from .exec.backends import BACKEND_CHOICES
 from .exec.executor import Executor
 from .exec.progress import ConsoleProgress
 from .exec.store import ResultStore
@@ -43,7 +50,7 @@ from .harness.sweep import DEFAULT_W0_VALUES, w0_sensitivity
 from .power.cacti import FIG3_CACHE_SIZES_KB, tcc_cache_power_curve, tcc_total_power_factor
 from .power.report import format_energy_report
 from .scenarios.builtin import available_suites, get_suite, suite_help
-from .scenarios.runner import SuiteRun, run_suite
+from .scenarios.runner import Shard, SuiteRun, plan_suite, run_suite
 from .scenarios.suite import load_suite_file
 from .sim.trace import TraceRecorder
 from .workloads.registry import available_workloads, workload_schema
@@ -69,10 +76,24 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
                         help="worker processes (0 = one per CPU; default 1)")
     parser.add_argument("--cache-dir", metavar="PATH",
                         help="content-addressed result cache directory")
+    _add_store(parser)
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir for this invocation")
     parser.add_argument("--progress", action="store_true",
                         help="per-job status and batch speed-up on stderr")
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", choices=BACKEND_CHOICES, default="auto",
+                        help="result-store backend (auto = detect from the "
+                             "cache directory; new directories get jsonl)")
+
+
+def _shard_arg(text: str) -> Shard:
+    try:
+        return Shard.parse(text)
+    except ExecutionError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _config(args: argparse.Namespace, gating_enabled: bool = True) -> SystemConfig:
@@ -87,7 +108,7 @@ def _config(args: argparse.Namespace, gating_enabled: bool = True) -> SystemConf
 def _executor(args: argparse.Namespace) -> Executor:
     store = None
     if args.cache_dir and not args.no_cache:
-        store = ResultStore(args.cache_dir)
+        store = ResultStore(args.cache_dir, backend=args.store)
     progress = ConsoleProgress() if args.progress else None
     return Executor(jobs=args.jobs, store=store, progress=progress)
 
@@ -158,7 +179,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_srun.add_argument("--seed", type=int, default=None,
                         help="override the suite's seed (default: the "
                              "suite's own; 0 for named suites)")
+    p_srun.add_argument("--shard", type=_shard_arg, metavar="K/N",
+                        help="run only shard K of N: the suite's deduped "
+                             "job list is partitioned deterministically "
+                             "by job digest (merge stores afterwards "
+                             "with `suite merge`)")
     _add_exec(p_srun)
+
+    p_splan = suite_sub.add_parser(
+        "plan", help="cache-aware search: hit/miss per unique job digest, "
+                     "no simulation"
+    )
+    splan_src = p_splan.add_mutually_exclusive_group(required=True)
+    splan_src.add_argument("--suite", metavar="NAME")
+    splan_src.add_argument("--file", metavar="PATH",
+                           help="user-defined suite JSON file")
+    p_splan.add_argument("--scale", choices=("tiny", "small", "medium"),
+                         help="override the suite's default scale")
+    p_splan.add_argument("--seed", type=int, default=None,
+                         help="override the suite's seed (default: the "
+                              "suite's own; 0 for named suites)")
+    p_splan.add_argument("--shard", type=_shard_arg, metavar="K/N",
+                         help="plan only shard K of N of the job list")
+    p_splan.add_argument("--cache-dir", metavar="PATH",
+                         help="result store to probe (omitted or missing: "
+                              "every job is a miss)")
+    _add_store(p_splan)
+    p_splan.add_argument("--json", action="store_true",
+                         help="emit the plan as JSON")
+    p_splan.add_argument("--out", metavar="PATH",
+                         help="write the residual misses as a dispatchable "
+                              "spec-list suite JSON file")
+
+    p_smerge = suite_sub.add_parser(
+        "merge", help="fold shard result stores into one directory"
+    )
+    p_smerge.add_argument("sources", nargs="+", metavar="DIR",
+                          help="source cache directories (backend "
+                               "auto-detected per directory)")
+    p_smerge.add_argument("--into", required=True, metavar="DIR",
+                          help="destination cache directory (created if "
+                               "missing)")
+    _add_store(p_smerge)
 
     p_bench = sub.add_parser(
         "bench", help="micro/meso performance benchmarks (repro.bench)"
@@ -188,11 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
         "exec-status", help="inspect a repro.exec result cache"
     )
     p_status.add_argument("--cache-dir", required=True, metavar="PATH")
+    _add_store(p_status)
     p_status.add_argument("--verbose", action="store_true",
                           help="list every cached run")
+    p_status.add_argument("--digests", action="store_true",
+                          help="print only the full digest of every entry, "
+                               "sorted (for scripting, e.g. comparing a "
+                               "merged store against an unsharded run)")
     p_status.add_argument("--prune", action="store_true",
-                          help="compact tombstoned/corrupt/stale lines "
-                               "out of the JSONL log")
+                          help="compact tombstoned/corrupt/stale records "
+                               "out of the store")
 
     sub.add_parser("list", help="available workloads and policies")
     return parser
@@ -293,9 +360,7 @@ def _resolve_suite(args: argparse.Namespace):
         if args.seed is not None:
             updates["seed"] = args.seed
         if updates:
-            loaded = dataclasses.replace(
-                loaded, base=loaded.base.with_updates(**updates)
-            )
+            loaded = loaded.with_base_updates(**updates)
         return loaded
     return get_suite(
         args.suite, scale=args.scale,
@@ -311,6 +376,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             title="Named scenario suites",
         ))
         return 0
+    if args.action == "merge":
+        return _suite_merge(args)
 
     named = _resolve_suite(args)
     if args.action == "describe":
@@ -326,13 +393,16 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         for spec in specs:
             print(f"  {spec.digest[:12]}  {spec.label()}")
         return 0
+    if args.action == "plan":
+        return _suite_plan(args, named)
 
     # action == "run"
-    outcome = run_suite(named, executor=_executor(args))
+    outcome = run_suite(named, executor=_executor(args), shard=args.shard)
+    shard_note = f" [shard {args.shard}]" if args.shard is not None else ""
     print(format_table(
         list(SuiteRun.ROW_HEADERS),
         outcome.rows(),
-        title=f"suite {named.name} — {len(outcome)} scenario(s)",
+        title=f"suite {named.name}{shard_note} — {len(outcome)} scenario(s)",
     ))
     paired = outcome.paired_rows()
     if paired:
@@ -346,6 +416,59 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         # stderr, like the progress layer: stdout stays bit-identical
         # between a cold run and a pure-cache-hit re-run.
         print(outcome.report.summary(), file=sys.stderr)
+    return 0
+
+
+def _suite_plan(args: argparse.Namespace, named) -> int:
+    """``suite plan``: probe the store per job digest, never simulate."""
+    import os
+
+    store = None
+    if args.cache_dir:
+        if os.path.isdir(args.cache_dir):
+            store = ResultStore(args.cache_dir, backend=args.store)
+        else:
+            print(f"no result store at {args.cache_dir}; planning against "
+                  f"an empty cache", file=sys.stderr)
+    plan = plan_suite(named, store=store, shard=args.shard)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(plan.to_dict(), indent=2))
+    else:
+        for entry in plan.entries:
+            state = "HIT " if entry.cached else "MISS"
+            multi = f"  (x{entry.scenarios})" if entry.scenarios > 1 else ""
+            print(f"  {state} {entry.digest[:12]}  {entry.label}{multi}")
+        print(plan.summary())
+    if args.out:
+        residual = plan.residual_suite()
+        from pathlib import Path as _Path
+
+        _Path(args.out).write_text(residual.to_json(indent=2) + "\n",
+                                   encoding="utf-8")
+        print(f"residual suite ({residual.size} spec(s)) written to "
+              f"{args.out}", file=sys.stderr)
+    return 0
+
+
+def _suite_merge(args: argparse.Namespace) -> int:
+    """``suite merge``: fold shard result stores into one directory."""
+    import os
+
+    for src in args.sources:
+        if not os.path.isdir(src):
+            print(f"no result store at {src}", file=sys.stderr)
+            return 1
+    dest = ResultStore(args.into, backend=args.store)
+    for src in args.sources:
+        source = ResultStore(src)
+        written = dest.merge_from(source)
+        print(f"  {src}: {len(source)} entr{'y' if len(source) == 1 else 'ies'}, "
+              f"{written} new/updated")
+        source.close()
+    print(dest.stats().summary())
+    dest.close()
     return 0
 
 
@@ -409,7 +532,11 @@ def _cmd_exec_status(args: argparse.Namespace) -> int:
         # would otherwise masquerade as an empty store).
         print(f"no result store at {args.cache_dir}", file=sys.stderr)
         return 1
-    store = ResultStore(args.cache_dir)
+    store = ResultStore(args.cache_dir, backend=args.store)
+    if args.digests:
+        for digest in sorted(digest for digest, _label in store.labels()):
+            print(digest)
+        return 0
     if args.prune:
         print(store.prune().summary())
     stats = store.stats()

@@ -11,7 +11,9 @@ batch of independent, deduplicated, cacheable jobs:
   ``ProcessPoolExecutor``-backed fan-out with in-batch dedup and
   deterministic result ordering; :class:`BatchReport` totals.
 * :mod:`~repro.exec.store` — :class:`ResultStore`, a digest-keyed
-  JSON-lines on-disk cache with tombstone invalidation.
+  on-disk cache with tombstone invalidation, backed by a pluggable
+  :mod:`~repro.exec.backends` layer (advisory-locked JSON lines, or
+  SQLite in WAL mode for many concurrent writer processes).
 * :mod:`~repro.exec.progress` — per-job status and wall-clock/speed-up
   reporting.
 
@@ -34,6 +36,15 @@ exposes it as ``--jobs N``, ``--cache-dir PATH``, ``--no-cache`` and
 the ``exec-status`` subcommand.
 """
 
+from .backends import (
+    BACKEND_CHOICES,
+    BACKENDS,
+    JsonlBackend,
+    SqliteBackend,
+    StoreBackend,
+    create_backend,
+    detect_backend,
+)
 from .executor import BatchReport, Executor
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob, execute_job
 from .progress import ConsoleProgress, NullProgress, ProgressListener
@@ -49,6 +60,13 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "PruneReport",
+    "StoreBackend",
+    "JsonlBackend",
+    "SqliteBackend",
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "create_backend",
+    "detect_backend",
     "ProgressListener",
     "NullProgress",
     "ConsoleProgress",

@@ -1,0 +1,77 @@
+"""Pluggable persistence backends for the result store.
+
+Two implementations of the :class:`~repro.exec.backends.base.StoreBackend`
+contract ship in-tree:
+
+* :class:`JsonlBackend` — the original append-only ``results.jsonl``
+  log, now crash/concurrency-safe via advisory ``fcntl`` locking.
+* :class:`SqliteBackend` — ``results.db`` in WAL mode with digest-keyed
+  upserts, built for many concurrent writer processes.
+
+:func:`create_backend` resolves the ``--store jsonl|sqlite|auto``
+choice; ``auto`` detects which storage file already exists in the cache
+directory (new, empty directories default to JSONL).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ...errors import ExecutionError
+from .base import StoreBackend
+from .jsonl import JsonlBackend
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "StoreBackend",
+    "JsonlBackend",
+    "SqliteBackend",
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "create_backend",
+    "detect_backend",
+]
+
+#: registry of selectable backends, keyed by ``--store`` value
+BACKENDS: dict[str, type[StoreBackend]] = {
+    JsonlBackend.name: JsonlBackend,
+    SqliteBackend.name: SqliteBackend,
+}
+
+#: every valid ``--store`` argument, in CLI help order
+BACKEND_CHOICES = ("auto", *sorted(BACKENDS))
+
+
+def detect_backend(directory: str | Path) -> str:
+    """Which backend owns *directory*?  Defaults to JSONL when empty.
+
+    Raises :class:`~repro.errors.ExecutionError` when both storage
+    files exist — the caller must choose explicitly.
+    """
+    directory = Path(directory)
+    present = [
+        name
+        for name, cls in sorted(BACKENDS.items())
+        if (directory / cls.filename).exists()
+    ]
+    if len(present) > 1:
+        raise ExecutionError(
+            f"cache directory {directory} holds more than one store "
+            f"({', '.join(BACKENDS[name].filename for name in present)}); "
+            f"select a backend explicitly (--store {'|'.join(sorted(BACKENDS))})"
+        )
+    return present[0] if present else JsonlBackend.name
+
+
+def create_backend(directory: str | Path, kind: str = "auto") -> StoreBackend:
+    """Instantiate the backend *kind* (``auto`` detects from disk)."""
+    if kind == "auto":
+        kind = detect_backend(directory)
+    try:
+        cls = BACKENDS[kind]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown store backend {kind!r}; choose from "
+            f"{', '.join(BACKEND_CHOICES)}"
+        ) from None
+    return cls(directory)

@@ -1,0 +1,83 @@
+"""The storage contract every :class:`~repro.exec.store.ResultStore`
+backend implements.
+
+A backend owns *persistence only*: it turns record dicts (exactly the
+JSON objects the store has always logged — ``{"digest", "schema",
+"created", "result", ...}`` for results, ``{"digest", "tombstone"}``
+for invalidations) into durable bytes and back.  Session accounting
+(hit/miss counters), the in-memory index, and the replay semantics
+(last record per digest wins, tombstones drop the digest, foreign
+schemas are skipped) all live in the front-end; every backend must
+round-trip record dicts **verbatim**, which is what makes migration and
+shard merging byte-stable across backends.
+
+Concurrency contract: :meth:`StoreBackend.append` must be safe against
+concurrent appenders in other *processes* (and other hosts, for
+backends on shared filesystems) — two simultaneous appends may land in
+either order, but neither may be torn, truncated, or lost.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Any, ClassVar
+
+__all__ = ["StoreBackend"]
+
+
+class StoreBackend(abc.ABC):
+    """Persistence engine for one result-store directory."""
+
+    #: registry key and the value ``--store`` selects
+    name: ClassVar[str]
+    #: the file this backend owns inside the cache directory
+    filename: ClassVar[str]
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.path = self.directory / self.filename
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def load(self) -> tuple[dict[str, dict[str, Any]], int]:
+        """Replay storage into ``(index, skipped)``.
+
+        ``index`` maps digest -> live record dict (tombstoned digests
+        absent, last write wins); ``skipped`` counts records that could
+        not be used (unparseable, or written under a foreign schema).
+        """
+
+    @abc.abstractmethod
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably add one record (result or tombstone), atomically with
+        respect to concurrent appenders in other processes."""
+
+    @abc.abstractmethod
+    def compact(self) -> dict[str, dict[str, Any]]:
+        """Atomically rewrite storage down to its current live records.
+
+        The live set is re-read from storage *inside* the exclusive
+        lock/transaction — never from a caller-supplied snapshot — so
+        records appended by concurrent processes since the caller's
+        load are preserved, not silently deleted.  Returns the
+        resulting live index so the caller can refresh its own.
+        """
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop every physical record."""
+
+    @abc.abstractmethod
+    def record_count(self) -> int:
+        """Physical records present, including tombstones and dead lines."""
+
+    @abc.abstractmethod
+    def file_bytes(self) -> int:
+        """On-disk size of the primary storage file (0 if absent)."""
+
+    def close(self) -> None:
+        """Release any held resources (idempotent; default no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.path)!r})"

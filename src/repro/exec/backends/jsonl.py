@@ -1,0 +1,125 @@
+"""Append-only JSON-lines backend (the original store format).
+
+One ``results.jsonl`` per cache directory; every record is one compact
+JSON line.  Writes take an advisory ``fcntl`` lock on a sidecar
+``results.jsonl.lock`` file, so concurrent appenders — parallel CLI
+invocations, suite shards pointed at one directory, processes on
+different NFS clients — serialize their appends instead of interleaving
+them into torn lines that load would silently skip.  Loads take the
+shared lock, so a reader never observes a half-written compaction.
+
+On platforms without :mod:`fcntl` (Windows), locking degrades to a
+no-op and the format keeps its original single-writer guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..jobs import SCHEMA_VERSION
+from .base import StoreBackend
+
+try:  # POSIX only; the store stays usable (single-writer) without it
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on Windows
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["JsonlBackend"]
+
+
+class JsonlBackend(StoreBackend):
+    """JSON-lines log with advisory-flock append/load safety."""
+
+    name = "jsonl"
+    filename = "results.jsonl"
+
+    def __init__(self, directory):
+        super().__init__(directory)
+        self._lock_path = self.directory / (self.filename + ".lock")
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self, exclusive: bool) -> Iterator[None]:
+        """Advisory inter-process lock scope (no-op without fcntl)."""
+        if fcntl is None:  # pragma: no cover - Windows fallback
+            yield
+            return
+        with open(self._lock_path, "ab") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _read_index(self) -> tuple[dict[str, dict[str, Any]], int]:
+        """Parse the log into (live index, skipped).  Caller holds a lock."""
+        index: dict[str, dict[str, Any]] = {}
+        skipped = 0
+        if not self.path.exists():
+            return index, skipped
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    digest = record["digest"]
+                except (ValueError, KeyError, TypeError):
+                    skipped += 1
+                    continue
+                if record.get("tombstone"):
+                    index.pop(digest, None)
+                    continue
+                if record.get("schema") != SCHEMA_VERSION:
+                    skipped += 1
+                    continue
+                index[digest] = record
+        return index, skipped
+
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[dict[str, dict[str, Any]], int]:
+        if not self.path.exists():
+            return {}, 0
+        with self._locked(exclusive=False):
+            return self._read_index()
+
+    def append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._locked(exclusive=True):
+            # One write() of one whole line, flushed before the lock
+            # drops: a concurrent appender can never tear it.
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def compact(self) -> dict[str, dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        with self._locked(exclusive=True):
+            # Re-read inside the exclusive lock: records appended by
+            # concurrent processes since our caller's load survive.
+            index, _skipped = self._read_index()
+            with self.path.open("w", encoding="utf-8") as fh:
+                for record in index.values():
+                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        return index
+
+    def clear(self) -> None:
+        with self._locked(exclusive=True):
+            if self.path.exists():
+                self.path.write_text("")
+
+    def record_count(self) -> int:
+        if not self.path.exists():
+            return 0
+        with self._locked(exclusive=False):
+            with self.path.open("r", encoding="utf-8") as fh:
+                return sum(1 for line in fh if line.strip())
+
+    def file_bytes(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0

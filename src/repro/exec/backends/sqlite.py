@@ -1,0 +1,182 @@
+"""SQLite backend: one ``results.db`` per cache directory.
+
+Records are digest-keyed upserts into a single ``records`` table whose
+``payload`` column holds the exact record JSON the JSONL backend would
+have logged — so the two backends are interchangeable and migration is
+byte-stable in both directions.  Tombstones are rows with
+``tombstone=1`` and no payload, preserving the replay semantics (a
+reopened store still sees the digest invalidated; a later put
+resurrects it).
+
+The database opens in WAL journal mode with a generous busy timeout:
+many processes can read and append concurrently without corrupting or
+losing records, which is what suite shards pointed at one shared
+directory need.  Where WAL is unavailable (some network filesystems)
+SQLite falls back to its default rollback journal — still locked
+correctly, just slower under write contention.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any
+
+from ...errors import ExecutionError
+from ..jobs import SCHEMA_VERSION
+from .base import StoreBackend
+
+__all__ = ["SqliteBackend"]
+
+_TABLE_DDL = """
+CREATE TABLE IF NOT EXISTS records (
+    digest    TEXT PRIMARY KEY,
+    schema    INTEGER,
+    tombstone INTEGER NOT NULL DEFAULT 0,
+    payload   TEXT
+)
+"""
+
+
+class SqliteBackend(StoreBackend):
+    """WAL-mode SQLite storage with digest-keyed upserts."""
+
+    name = "sqlite"
+    filename = "results.db"
+
+    def __init__(self, directory):
+        super().__init__(directory)
+        self._conn: sqlite3.Connection | None = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            try:
+                # isolation_level=None: autocommit, with transactions
+                # managed explicitly where multi-statement atomicity
+                # matters (compact).
+                conn = sqlite3.connect(
+                    self.path, timeout=30.0, isolation_level=None
+                )
+                conn.execute("PRAGMA busy_timeout=30000")
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute(_TABLE_DDL)
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"cannot open result database {self.path}: {exc}"
+                ) from exc
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    @staticmethod
+    def _read_index(
+        conn: sqlite3.Connection,
+    ) -> tuple[dict[str, dict[str, Any]], int]:
+        index: dict[str, dict[str, Any]] = {}
+        skipped = 0
+        for digest, tombstone, payload in conn.execute(
+            "SELECT digest, tombstone, payload FROM records"
+        ):
+            if tombstone:
+                continue
+            try:
+                record = json.loads(payload)
+                if record["digest"] != digest:
+                    raise KeyError(digest)
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+                continue
+            if record.get("schema") != SCHEMA_VERSION:
+                skipped += 1
+                continue
+            index[digest] = record
+        return index, skipped
+
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[dict[str, dict[str, Any]], int]:
+        if not self.path.exists():
+            # Opening a store for reading must not create results.db —
+            # a read-only `exec-status`/`suite plan` probe would
+            # otherwise pollute the directory and break auto-detection.
+            return {}, 0
+        return self._read_index(self._connect())
+
+    def append(self, record: dict[str, Any]) -> None:
+        conn = self._connect()
+        if record.get("tombstone"):
+            conn.execute(
+                "INSERT OR REPLACE INTO records "
+                "(digest, schema, tombstone, payload) VALUES (?, NULL, 1, NULL)",
+                (record["digest"],),
+            )
+        else:
+            conn.execute(
+                "INSERT OR REPLACE INTO records "
+                "(digest, schema, tombstone, payload) VALUES (?, ?, 0, ?)",
+                (
+                    record["digest"],
+                    record.get("schema"),
+                    json.dumps(record, separators=(",", ":")),
+                ),
+            )
+
+    def compact(self) -> dict[str, dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        conn = self._connect()
+        # One immediate transaction around read-and-rewrite: concurrent
+        # appenders block (busy timeout) instead of being deleted.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            index, _skipped = self._read_index(conn)
+            conn.execute("DELETE FROM records")
+            conn.executemany(
+                "INSERT INTO records "
+                "(digest, schema, tombstone, payload) VALUES (?, ?, 0, ?)",
+                (
+                    (
+                        record["digest"],
+                        record.get("schema"),
+                        json.dumps(record, separators=(",", ":")),
+                    )
+                    for record in index.values()
+                ),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        self._vacuum(conn)
+        return index
+
+    def clear(self) -> None:
+        if not self.path.exists():
+            return
+        conn = self._connect()
+        conn.execute("DELETE FROM records")
+        self._vacuum(conn)
+
+    @staticmethod
+    def _vacuum(conn: sqlite3.Connection) -> None:
+        """Return freed pages to the filesystem (best effort — another
+        writer holding the database merely skips the space reclaim)."""
+        try:
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            conn.execute("VACUUM")
+        except sqlite3.Error:  # pragma: no cover - contention only
+            pass
+
+    def record_count(self) -> int:
+        if not self.path.exists():
+            return 0
+        row = self._connect().execute("SELECT COUNT(*) FROM records").fetchone()
+        return int(row[0])
+
+    def file_bytes(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0

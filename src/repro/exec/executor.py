@@ -29,6 +29,7 @@ import os
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 from ..errors import ExecutionError
@@ -103,7 +104,11 @@ class Executor:
         process; ``0`` means one per CPU.
     store:
         Optional :class:`~repro.exec.store.ResultStore` consulted before
-        executing and updated after.
+        executing and updated after.  A plain directory path is also
+        accepted and opened with backend auto-detection
+        (:mod:`repro.exec.backends`); the store's own locking makes the
+        write-through safe even when other executor processes — suite
+        shards, parallel CLI invocations — share the same directory.
     progress:
         Optional :class:`~repro.exec.progress.ProgressListener`.
     refresh:
@@ -114,13 +119,15 @@ class Executor:
     def __init__(
         self,
         jobs: int = 1,
-        store: ResultStore | None = None,
+        store: ResultStore | str | Path | None = None,
         progress: ProgressListener | None = None,
         refresh: bool = False,
     ):
         if jobs < 0:
             raise ExecutionError(f"worker count cannot be negative: {jobs}")
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
         self.store = store
         self.progress = progress if progress is not None else ProgressListener()
         self.refresh = refresh

@@ -1,33 +1,38 @@
-"""Content-addressed on-disk result cache (append-only JSON lines).
+"""Content-addressed on-disk result cache with pluggable backends.
 
 The store maps a :class:`~repro.exec.jobs.RunJob` digest to its
-:class:`~repro.exec.jobs.ExecResult`.  Records append to one
-``results.jsonl`` file inside the cache directory; on open, the file is
-replayed into an in-memory index where the *last* record per digest
-wins.  Invalidations append tombstone records, so the file remains a
-faithful log and the store never rewrites history except in
-:meth:`ResultStore.clear`/:meth:`ResultStore.compact`.
+:class:`~repro.exec.jobs.ExecResult`.  Persistence is delegated to a
+:class:`~repro.exec.backends.StoreBackend` — the append-only
+``results.jsonl`` log (advisory-locked, the default) or the
+``results.db`` SQLite database (WAL mode, digest-keyed upserts) — while
+this front-end owns the in-memory index, the replay semantics (last
+record per digest wins, tombstones drop a digest), and the session
+accounting.
 
 Records written under a different :data:`~repro.exec.jobs.SCHEMA_VERSION`
-— or lines that fail to parse (e.g. a run killed mid-append) — are
-skipped on load and reported via :meth:`ResultStore.stats`.
+— or that fail to parse (e.g. a run killed mid-append) — are skipped on
+load and reported via :meth:`ResultStore.stats`.
+
+Accounting contract: :meth:`ResultStore.get` and ``digest in store``
+both count one session hit or miss (so cache-aware planning with ``in``
+and executor reads with ``get`` show up identically in ``exec-status``
+statistics); ``len()``, :meth:`labels`, :meth:`records` and
+:meth:`stats` never touch the counters.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
+from .backends import StoreBackend, create_backend
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob
 from .serialize import result_from_dict, result_to_dict
 
 __all__ = ["ResultStore", "StoreStats", "PruneReport"]
-
-_FILENAME = "results.jsonl"
 
 
 @dataclass(frozen=True)
@@ -57,10 +62,12 @@ class StoreStats:
     misses: int
     skipped_records: int
     schema: int = SCHEMA_VERSION
+    backend: str = "jsonl"
 
     def summary(self) -> str:
         return (
-            f"result store {self.path}: {self.entries} entries "
+            f"result store {self.path} [{self.backend}]: "
+            f"{self.entries} entries "
             f"({self.file_bytes} bytes, schema v{self.schema}), "
             f"session hits/misses {self.hits}/{self.misses}, "
             f"{self.skipped_records} skipped records"
@@ -68,9 +75,19 @@ class StoreStats:
 
 
 class ResultStore:
-    """Digest-keyed persistent cache of simulation results."""
+    """Digest-keyed persistent cache of simulation results.
 
-    def __init__(self, directory: str | Path):
+    Parameters
+    ----------
+    directory:
+        The cache directory (created if missing).
+    backend:
+        ``"jsonl"``, ``"sqlite"``, ``"auto"`` (detect from the files
+        already in the directory; new directories default to JSONL), or
+        a ready :class:`~repro.exec.backends.StoreBackend` instance.
+    """
+
+    def __init__(self, directory: str | Path, backend: str | StoreBackend = "auto"):
         self.directory = Path(directory)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -78,7 +95,11 @@ class ResultStore:
             raise ExecutionError(
                 f"cannot create cache directory {self.directory}: {exc}"
             ) from exc
-        self.path = self.directory / _FILENAME
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(self.directory, backend)
+        self.path = self.backend.path
         self.hits = 0
         self.misses = 0
         self._skipped = 0
@@ -87,32 +108,7 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        self._index.clear()
-        self._skipped = 0
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    digest = record["digest"]
-                except (ValueError, KeyError, TypeError):
-                    self._skipped += 1
-                    continue
-                if record.get("tombstone"):
-                    self._index.pop(digest, None)
-                    continue
-                if record.get("schema") != SCHEMA_VERSION:
-                    self._skipped += 1
-                    continue
-                self._index[digest] = record
-
-    def _append(self, record: dict[str, Any]) -> None:
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._index, self._skipped = self.backend.load()
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> ExecResult | None:
@@ -134,56 +130,85 @@ class ResultStore:
         }
         if job is not None:
             record["label"] = job.label()
-        self._append(record)
+        self.backend.append(record)
         self._index[digest] = record
 
     def invalidate(self, digest: str) -> bool:
         """Drop one entry (appends a tombstone). Returns True if present."""
         present = digest in self._index
         if present:
-            self._append({"digest": digest, "tombstone": True})
+            self.backend.append({"digest": digest, "tombstone": True})
             self._index.pop(digest, None)
         return present
 
     def clear(self) -> int:
-        """Drop every entry and truncate the log. Returns entries removed."""
+        """Drop every entry and truncate storage. Returns entries removed."""
         removed = len(self._index)
         self._index.clear()
-        if self.path.exists():
-            self.path.write_text("")
+        self._skipped = 0  # the skipped records are gone with the file
+        self.backend.clear()
         return removed
 
     def compact(self) -> None:
-        """Rewrite the log with only the live records (drops tombstones)."""
-        with self.path.open("w", encoding="utf-8") as fh:
-            for record in self._index.values():
-                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        """Rewrite storage down to only live records (drops tombstones).
+
+        The live set is re-read from storage atomically inside the
+        backend — not taken from this instance's (possibly stale)
+        index — so compacting a store that concurrent processes are
+        appending to never deletes their records.  The in-memory index
+        refreshes to the rewritten state.
+        """
+        self._index = self.backend.compact()
 
     def prune(self) -> "PruneReport":
-        """Compact the log and report what was dropped.
+        """Compact the store and report what was dropped.
 
-        The append-only log otherwise only grows: invalidations leave
-        the dead record *and* a tombstone line behind, crashed appends
+        Append-oriented storage otherwise only grows: invalidations
+        leave the dead record *and* a tombstone behind, crashed appends
         leave unparseable fragments, and schema bumps strand whole
-        generations of records.  Pruning rewrites the file with exactly
+        generations of records.  Pruning rewrites storage with exactly
         the live index — every live result survives byte-for-byte.
         """
-        lines_before = 0
-        if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                lines_before = sum(1 for line in fh if line.strip())
-        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        records_before = self.backend.record_count()
+        bytes_before = self.backend.file_bytes()
         self.compact()
-        self._skipped = 0  # the skipped records are gone from the file now
+        self._skipped = 0  # the skipped records are gone from storage now
         return PruneReport(
             entries=len(self._index),
-            lines_dropped=lines_before - len(self._index),
-            bytes_reclaimed=bytes_before - self.path.stat().st_size,
+            lines_dropped=records_before - len(self._index),
+            bytes_reclaimed=bytes_before - self.backend.file_bytes(),
         )
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Upsert every live record from *other* into this store.
+
+        Records travel verbatim (timestamps and labels included), so
+        merging is idempotent — a record already present and identical
+        is not rewritten — and byte-stable across backends, which is
+        what ``repro suite merge`` relies on to fold shard stores from
+        many hosts into one.  Returns the number of records written.
+        """
+        written = 0
+        for digest, record in other._index.items():
+            if self._index.get(digest) != record:
+                self.backend.append(record)
+                self._index[digest] = record
+                written += 1
+        return written
+
+    def close(self) -> None:
+        """Release backend resources (safe to call more than once)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     def __contains__(self, digest: str) -> bool:
-        return digest in self._index
+        """Membership probe; counts a session hit or miss, like :meth:`get`."""
+        present = digest in self._index
+        if present:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return present
 
     def __len__(self) -> int:
         return len(self._index)
@@ -193,13 +218,18 @@ class ResultStore:
         for digest, record in self._index.items():
             yield digest, record.get("label", "")
 
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Live record dicts, exactly as persisted (defensive copies)."""
+        for record in self._index.values():
+            yield dict(record)
+
     def stats(self) -> StoreStats:
-        file_bytes = self.path.stat().st_size if self.path.exists() else 0
         return StoreStats(
             path=str(self.path),
             entries=len(self._index),
-            file_bytes=file_bytes,
+            file_bytes=self.backend.file_bytes(),
             hits=self.hits,
             misses=self.misses,
             skipped_records=self._skipped,
+            backend=self.backend.name,
         )

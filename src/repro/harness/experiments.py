@@ -119,6 +119,22 @@ class EvaluationSuite:
             description="Figs. 4-6: every evaluation point, both gating modes",
         )
 
+    def plan(self, store) -> "object":
+        """Cache coverage of the Figs. 4–6 grid, without simulating.
+
+        Probes *store* (a :class:`~repro.exec.store.ResultStore`, any
+        backend) per unique job digest and returns the
+        :class:`~repro.scenarios.runner.SuitePlan` — the cache-aware
+        entry point for regenerating figures incrementally: dispatch
+        ``plan.residual_suite()`` first, then :meth:`run_all` is pure
+        cache hits.
+        """
+        from ..scenarios.runner import plan_suite
+
+        return plan_suite(
+            self.scenario_suite(), store=store, power_model=self._model
+        )
+
     def run_all(self) -> None:
         """Force-run the whole grid as ONE executor batch.
 

@@ -18,19 +18,33 @@ The scenario layer turns evaluation matrices into *data*:
 """
 
 from .builtin import available_suites, get_suite, register_suite, suite_help
-from .runner import ScenarioResult, SuiteRun, run_specs, run_suite
+from .runner import (
+    PlanEntry,
+    ScenarioResult,
+    Shard,
+    SuitePlan,
+    SuiteRun,
+    plan_suite,
+    run_specs,
+    run_suite,
+)
 from .spec import SCENARIO_SCHEMA_VERSION, ScenarioSpec, scenario
-from .suite import ScenarioSuite, load_suite_file, suite
+from .suite import ScenarioSuite, SpecListSuite, load_suite_file, suite
 
 __all__ = [
     "SCENARIO_SCHEMA_VERSION",
     "ScenarioSpec",
     "scenario",
     "ScenarioSuite",
+    "SpecListSuite",
     "suite",
     "load_suite_file",
     "ScenarioResult",
     "SuiteRun",
+    "Shard",
+    "PlanEntry",
+    "SuitePlan",
+    "plan_suite",
     "run_specs",
     "run_suite",
     "available_suites",

@@ -24,6 +24,7 @@ it.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 from dataclasses import dataclass
@@ -33,9 +34,24 @@ from typing import Any, Mapping, Sequence
 from ..errors import WorkloadError
 from .spec import ScenarioSpec
 
-__all__ = ["ScenarioSuite", "suite", "load_suite_file"]
+__all__ = ["ScenarioSuite", "SpecListSuite", "suite", "load_suite_file"]
 
 _SPEC_FIELDS = ("workload", "scale", "threads", "seed", "gating", "w0", "cm")
+
+
+def _suite_data_from_json(text: str) -> dict[str, Any]:
+    """Decode suite JSON text to its object, with the shared errors."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise WorkloadError(f"invalid suite JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WorkloadError("suite JSON must be an object")
+    return data
+
+
+def _describe_header(name: str, description: str) -> str:
+    return f"suite {name}: {description}".rstrip().rstrip(":")
 
 
 @dataclass(frozen=True)
@@ -104,20 +120,89 @@ class ScenarioSuite:
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSuite":
-        try:
-            data = json.loads(text)
-        except ValueError as exc:
-            raise WorkloadError(f"invalid suite JSON: {exc}") from exc
-        if not isinstance(data, dict):
-            raise WorkloadError("suite JSON must be an object")
-        return cls.from_dict(data)
+        return cls.from_dict(_suite_data_from_json(text))
+
+    def with_base_updates(self, **changes: Any) -> "ScenarioSuite":
+        """Copy with base-spec field changes (axes still win at expansion)."""
+        return dataclasses.replace(
+            self, base=self.base.with_updates(**changes)
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        lines = [f"suite {self.name}: {self.description}".rstrip().rstrip(":")]
+        lines = [_describe_header(self.name, self.description)]
         lines.append(f"  base: {self.base.label()}")
         for axis, values in self.axes:
             lines.append(f"  axis {axis}: {list(values)}")
+        lines.append(f"  expands to {self.size} scenario(s)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SpecListSuite:
+    """An explicit list of scenarios — no axes, no cartesian product.
+
+    The dispatch format: ``repro suite plan --out`` writes the residual
+    cache misses of a grid as one of these, and ``suite run --file``
+    executes it anywhere, so arbitrary subsets of a grid (which a
+    base × axes suite cannot express) still travel as one JSON file.
+    Duck-type-compatible with :class:`ScenarioSuite` everywhere the
+    runner and CLI care (``name``/``description``/``size``/``expand``/
+    ``describe``/``with_base_updates``/JSON round-trip).
+    """
+
+    name: str
+    specs: tuple[ScenarioSpec, ...] = ()
+    description: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.specs)
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The listed scenarios, validated, in listed order."""
+        return [spec.validate() for spec in self.specs]
+
+    def with_base_updates(self, **changes: Any) -> "SpecListSuite":
+        """Copy with field changes applied to *every* listed spec."""
+        return dataclasses.replace(
+            self,
+            specs=tuple(spec.with_updates(**changes) for spec in self.specs),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecListSuite":
+        specs = data.get("specs")
+        if not isinstance(specs, Sequence) or isinstance(specs, str):
+            raise WorkloadError(
+                f"spec-list suite 'specs' must be a list, got {specs!r}"
+            )
+        return cls(
+            name=data.get("name", "unnamed"),
+            specs=tuple(ScenarioSpec.from_dict(entry) for entry in specs),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpecListSuite":
+        return cls.from_dict(_suite_data_from_json(text))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [_describe_header(self.name, self.description)]
+        for spec in self.specs:
+            lines.append(f"  spec: {spec.label()}")
         lines.append(f"  expands to {self.size} scenario(s)")
         return "\n".join(lines)
 
@@ -168,13 +253,18 @@ def _apply_axis(spec: ScenarioSpec, axis: str, value: Any) -> ScenarioSpec:
     return spec.with_updates(params={axis: value})
 
 
-def load_suite_file(path: str | Path) -> ScenarioSuite:
+def load_suite_file(path: str | Path) -> "ScenarioSuite | SpecListSuite":
     """Load a user-defined suite from a JSON file.
 
-    The file holds exactly what :meth:`ScenarioSuite.to_json` writes —
-    ``{"name", "description", "base": {spec fields}, "axes": [[axis,
-    values], ...]}`` — so ``repro suite describe --suite NAME --json``
-    output (wrapped as a ``base``) or a hand-written grid both work.
+    Two formats are accepted, keyed on which field is present:
+
+    * ``{"name", "description", "base": {spec fields}, "axes": [[axis,
+      values], ...]}`` — exactly what :meth:`ScenarioSuite.to_json`
+      writes; a hand-written grid works the same way.
+    * ``{"name", "description", "specs": [{spec fields}, ...]}`` — an
+      explicit :class:`SpecListSuite`, the format ``repro suite plan
+      --out`` emits for dispatching residual cache misses.
+
     A suite with no ``name`` field is named after the file stem.
     """
     path = Path(path)
@@ -190,6 +280,13 @@ def load_suite_file(path: str | Path) -> ScenarioSuite:
         raise WorkloadError(f"suite file {path} must hold a JSON object")
     if not data.get("name"):
         data = dict(data, name=path.stem)
+    if "specs" in data:
+        if "base" in data or "axes" in data:
+            raise WorkloadError(
+                f"suite file {path} mixes 'specs' with 'base'/'axes'; "
+                f"use one format or the other"
+            )
+        return SpecListSuite.from_dict(data)
     return ScenarioSuite.from_dict(data)
 
 

@@ -281,6 +281,65 @@ class TestResultStore:
         assert store.path.read_text() == content
 
 
+def _hammer_store(directory: str, worker: int, payload: dict, n: int) -> None:
+    """Child-process entry point: append *n* distinct records to one store."""
+    store = ResultStore(directory)
+    result = result_from_dict(payload)
+    for i in range(n):
+        store.put(f"{'0' * 40}worker{worker:04d}rec{i:08d}", result)
+    store.close()
+
+
+class TestStoreConcurrency:
+    """Regression: concurrent appends must never tear/lose records."""
+
+    def test_multiprocess_puts_lose_nothing(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = result_to_dict(execute_job(tiny_job()))
+        workers, per_worker = 4, 25
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_hammer_store, str(tmp_path), w, payload, per_worker)
+                for w in range(workers)
+            ]
+            for future in futures:
+                future.result()
+        reloaded = ResultStore(tmp_path)
+        # Before advisory locking, interleaved appends tore JSONL lines
+        # that load() silently dropped as skipped records.
+        assert reloaded.stats().skipped_records == 0
+        assert len(reloaded) == workers * per_worker
+
+    def test_clear_resets_skipped_counter(self, tmp_path):
+        """clear() must not report stale skipped counts afterwards."""
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([tiny_job()])
+        with store.path.open("a") as fh:
+            fh.write("{torn line\n")
+        store = ResultStore(tmp_path)
+        assert store.stats().skipped_records == 1
+        store.clear()
+        assert store.stats().skipped_records == 0
+        # ...and the truncated file really is free of the dead line
+        assert ResultStore(tmp_path).stats().skipped_records == 0
+
+    def test_contains_counts_hits_and_misses(self, tmp_path):
+        """`in` and get() share one accounting contract (exec-status)."""
+        job = tiny_job()
+        store = ResultStore(tmp_path)
+        Executor(store=store).run([job])
+        probe = ResultStore(tmp_path)
+        assert job.digest in probe
+        assert "deadbeef" not in probe
+        assert (probe.hits, probe.misses) == (1, 1)
+        probe.get(job.digest)
+        assert (probe.hits, probe.misses) == (2, 1)
+        # len()/labels()/records()/stats() never touch the counters
+        len(probe), list(probe.labels()), list(probe.records()), probe.stats()
+        assert (probe.hits, probe.misses) == (2, 1)
+
+
 class TestSweepIntegration:
     """The acceptance criterion: a cached sweep re-runs nothing."""
 

@@ -1,0 +1,297 @@
+"""Backend parity: the full store contract against JSONL and SQLite.
+
+Every test in ``TestStoreContract`` runs identically for both backends
+— put/get/invalidate/prune/labels/stats, tombstone replay, schema skew
+— plus migration round-trips (jsonl -> sqlite -> jsonl with byte-stable
+records) and backend auto-detection.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.backends import (
+    BACKENDS,
+    JsonlBackend,
+    SqliteBackend,
+    create_backend,
+    detect_backend,
+)
+from repro.exec.executor import Executor
+from repro.exec.jobs import SCHEMA_VERSION, execute_job
+from repro.exec.serialize import result_to_dict
+from repro.exec.store import ResultStore
+
+from .test_exec import tiny_job
+
+BACKEND_NAMES = sorted(BACKENDS)
+
+
+@pytest.fixture(scope="module")
+def seeded_results():
+    """Two distinct executed results, shared across the module."""
+    keep, drop = tiny_job(), tiny_job(gated=False)
+    return {
+        keep.digest: (keep, execute_job(keep)),
+        drop.digest: (drop, execute_job(drop)),
+    }
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend_name(request):
+    return request.param
+
+
+def make_store(path, backend_name):
+    return ResultStore(path, backend=backend_name)
+
+
+def inject(store: ResultStore, record: dict) -> None:
+    """Write a raw record through the backend (any schema, any shape)."""
+    store.backend.append(record)
+
+
+def inject_corrupt(store: ResultStore) -> None:
+    """Plant one unparseable record, per-backend."""
+    if store.backend.name == "jsonl":
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("{torn mid-append\n")
+    else:
+        conn = store.backend._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO records (digest, schema, tombstone, payload) "
+            "VALUES (?, ?, 0, ?)",
+            ("corrupt-digest", SCHEMA_VERSION, "{torn mid-append"),
+        )
+        conn.commit()
+
+
+class TestStoreContract:
+    """One suite, every backend: the behavior must be identical."""
+
+    def test_put_get_roundtrip(self, tmp_path, backend_name, seeded_results):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        store = make_store(tmp_path, backend_name)
+        store.put(digest, result, job=job)
+        assert result_to_dict(store.get(digest)) == result_to_dict(result)
+        reloaded = make_store(tmp_path, backend_name)
+        assert result_to_dict(reloaded.get(digest)) == result_to_dict(result)
+        assert (store.hits, store.misses) == (1, 0)
+
+    def test_last_write_wins(self, tmp_path, backend_name, seeded_results):
+        (d1, (j1, r1)), (d2, (j2, r2)) = seeded_results.items()
+        store = make_store(tmp_path, backend_name)
+        store.put(d1, r1, job=j1)
+        store.put(d1, r2, job=j2)  # overwrite under the same digest
+        reloaded = make_store(tmp_path, backend_name)
+        assert len(reloaded) == 1
+        assert result_to_dict(reloaded.get(d1)) == result_to_dict(r2)
+
+    def test_tombstone_replay(self, tmp_path, backend_name, seeded_results):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        store = make_store(tmp_path, backend_name)
+        store.put(digest, result, job=job)
+        assert store.invalidate(digest)
+        assert not store.invalidate(digest)  # already gone
+        # the tombstone survives a reload of the same directory...
+        reloaded = make_store(tmp_path, backend_name)
+        assert digest not in reloaded
+        assert len(reloaded) == 0
+        # ...and a later put resurrects the digest
+        reloaded.put(digest, result, job=job)
+        assert digest in make_store(tmp_path, backend_name)
+
+    def test_schema_skew_is_skipped_and_counted(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        store = make_store(tmp_path, backend_name)
+        store.put(digest, result, job=job)
+        inject(store, {"digest": "future", "schema": SCHEMA_VERSION + 1,
+                       "result": {}})
+        inject_corrupt(store)
+        reloaded = make_store(tmp_path, backend_name)
+        assert len(reloaded) == 1
+        assert reloaded.stats().skipped_records == 2
+        assert result_to_dict(reloaded.get(digest)) == result_to_dict(result)
+
+    def test_labels(self, tmp_path, backend_name, seeded_results):
+        store = make_store(tmp_path, backend_name)
+        for digest, (job, result) in seeded_results.items():
+            store.put(digest, result, job=job)
+        labels = dict(make_store(tmp_path, backend_name).labels())
+        assert labels == {
+            digest: job.label() for digest, (job, _r) in seeded_results.items()
+        }
+
+    def test_stats_identify_the_backend(self, tmp_path, backend_name):
+        store = make_store(tmp_path, backend_name)
+        stats = store.stats()
+        assert stats.backend == backend_name
+        assert backend_name in stats.summary()
+        assert stats.schema == SCHEMA_VERSION
+
+    def test_clear_resets_everything(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        store = make_store(tmp_path, backend_name)
+        store.put(digest, result, job=job)
+        inject(store, {"digest": "old", "schema": SCHEMA_VERSION - 1,
+                       "result": {}})
+        store = make_store(tmp_path, backend_name)
+        assert store.stats().skipped_records == 1
+        assert store.clear() == 1
+        assert store.stats().skipped_records == 0
+        reloaded = make_store(tmp_path, backend_name)
+        assert len(reloaded) == 0
+        assert reloaded.stats().skipped_records == 0
+
+    def test_prune_drops_dead_records_keeps_live(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        (d1, (j1, r1)), (d2, (j2, r2)) = seeded_results.items()
+        store = make_store(tmp_path, backend_name)
+        store.put(d1, r1, job=j1)
+        store.put(d2, r2, job=j2)
+        store.invalidate(d2)
+        inject(store, {"digest": "old", "schema": SCHEMA_VERSION - 1,
+                       "result": {}})
+        store = make_store(tmp_path, backend_name)
+        report = store.prune()
+        assert report.entries == 1
+        # jsonl: 2 results + tombstone + stale = 4 lines, 1 live kept;
+        # sqlite upserts collapse d2's put+tombstone into one row.
+        expected_dropped = 4 - 1 if backend_name == "jsonl" else 3 - 1
+        assert report.lines_dropped == expected_dropped
+        reloaded = make_store(tmp_path, backend_name)
+        assert len(reloaded) == 1
+        assert reloaded.stats().skipped_records == 0
+        assert result_to_dict(reloaded.get(d1)) == result_to_dict(r1)
+
+    def test_compact_preserves_concurrent_appends(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        """prune/compact must never delete records it did not load."""
+        (d1, (j1, r1)), (d2, (j2, r2)) = seeded_results.items()
+        stale = make_store(tmp_path, backend_name)
+        stale.put(d1, r1, job=j1)
+        stale.invalidate(d1)
+        stale.put(d1, r1, job=j1)
+        # another process appends while `stale`'s index is already loaded
+        other = make_store(tmp_path, backend_name)
+        other.put(d2, r2, job=j2)
+        other.close()
+        report = stale.prune()
+        assert report.entries == 2  # d1 AND the concurrently-added d2
+        assert d2 in stale  # index refreshed from the rewritten storage
+        reloaded = make_store(tmp_path, backend_name)
+        assert {digest for digest, _ in reloaded.labels()} == {d1, d2}
+
+    def test_executor_cache_roundtrip(self, tmp_path, backend_name):
+        job = tiny_job()
+        first = Executor(store=make_store(tmp_path, backend_name))
+        fresh = first.run([job])
+        assert first.last_report.executed == 1
+        second = Executor(store=make_store(tmp_path, backend_name))
+        cached = second.run([job])
+        assert second.last_report.cache_hits == 1
+        assert result_to_dict(cached[0]) == result_to_dict(fresh[0])
+
+    def test_concurrent_multiprocess_puts(self, tmp_path, backend_name):
+        """Both backends take concurrent appenders without losing records."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.exec.serialize import result_from_dict
+
+        from .test_exec import _hammer_store
+
+        payload = result_to_dict(execute_job(tiny_job()))
+        # one seed write pins the backend the children auto-detect
+        seed = make_store(tmp_path, backend_name)
+        seed.put("f" * 64, result_from_dict(payload))
+        seed.close()
+        workers, per_worker = 3, 10
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_hammer_store, str(tmp_path), w, payload, per_worker)
+                for w in range(workers)
+            ]
+            for future in futures:
+                future.result()
+        reloaded = make_store(tmp_path, backend_name)
+        assert reloaded.stats().skipped_records == 0
+        assert len(reloaded) == workers * per_worker + 1
+
+
+class TestMigration:
+    def test_jsonl_sqlite_jsonl_roundtrip_is_byte_stable(
+        self, tmp_path, seeded_results
+    ):
+        source = ResultStore(tmp_path / "a", backend="jsonl")
+        for digest, (job, result) in seeded_results.items():
+            source.put(digest, result, job=job)
+
+        via = ResultStore(tmp_path / "b", backend="sqlite")
+        assert via.merge_from(source) == len(seeded_results)
+        back = ResultStore(tmp_path / "c", backend="jsonl")
+        assert back.merge_from(via) == len(seeded_results)
+
+        key = lambda record: record["digest"]
+        original = sorted(source.records(), key=key)
+        assert sorted(via.records(), key=key) == original
+        assert sorted(back.records(), key=key) == original
+        # record-for-record identical => the JSONL lines are byte-stable
+        for record in original:
+            line = json.dumps(record, separators=(",", ":"))
+            assert line in (tmp_path / "c" / "results.jsonl").read_text()
+
+    def test_merge_is_idempotent(self, tmp_path, seeded_results):
+        source = ResultStore(tmp_path / "a", backend="jsonl")
+        for digest, (job, result) in seeded_results.items():
+            source.put(digest, result, job=job)
+        dest = ResultStore(tmp_path / "b", backend="sqlite")
+        assert dest.merge_from(source) == len(seeded_results)
+        assert dest.merge_from(source) == 0  # identical records skipped
+
+
+class TestBackendSelection:
+    def test_empty_directory_defaults_to_jsonl(self, tmp_path):
+        assert detect_backend(tmp_path) == "jsonl"
+        assert isinstance(create_backend(tmp_path), JsonlBackend)
+
+    def test_auto_detects_sqlite(self, tmp_path, seeded_results):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        ResultStore(tmp_path, backend="sqlite").put(digest, result, job=job)
+        assert detect_backend(tmp_path) == "sqlite"
+        auto = ResultStore(tmp_path)  # no backend argument
+        assert isinstance(auto.backend, SqliteBackend)
+        assert digest in auto
+
+    def test_ambiguous_directory_is_an_error(self, tmp_path, seeded_results):
+        digest, (job, result) = next(iter(seeded_results.items()))
+        (tmp_path / JsonlBackend.filename).write_text("")
+        ResultStore(tmp_path, backend="sqlite").put(digest, result, job=job)
+        with pytest.raises(ExecutionError, match="more than one store"):
+            ResultStore(tmp_path)
+        # ...but an explicit choice still opens it
+        assert ResultStore(tmp_path, backend="jsonl").backend.name == "jsonl"
+
+    def test_read_only_open_creates_no_store_file(self, tmp_path):
+        """Probing a directory must not pollute it (auto-detect safety)."""
+        for name in BACKEND_NAMES:
+            store = make_store(tmp_path, name)
+            assert not store.path.exists()
+            assert len(store) == 0
+            store.prune()
+            store.clear()
+            store.close()
+            assert not store.path.exists()
+        assert detect_backend(tmp_path) == "jsonl"
+
+    def test_unknown_backend_is_an_error(self, tmp_path):
+        with pytest.raises(ExecutionError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="postgres")
