@@ -1,12 +1,15 @@
 # Developer entry points.  `make smoke` is the PR gate: tier-1 tests
-# plus one cached parallel sweep end-to-end (see scripts/smoke.sh).
-# `make smoke-sharded` checks shard/merge/plan against both store
-# backends (see scripts/smoke_sharded.sh).
+# plus one cached parallel sweep end-to-end (see scripts/smoke.sh),
+# including the incremental figure pipeline.  `make smoke-sharded`
+# checks shard/merge/plan against both store backends
+# (see scripts/smoke_sharded.sh).  `make figures` regenerates every
+# paper artifact into figures/ — incrementally, against .repro-cache.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-sharded bench bench-check bench-exec clean-cache
+.PHONY: test smoke smoke-sharded figures figures-smoke bench bench-check \
+	bench-gate bench-exec clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,14 +20,24 @@ smoke: test
 smoke-sharded:
 	bash scripts/smoke_sharded.sh
 
+figures:
+	$(PYTHON) -m repro figures build --jobs 0 --progress \
+		--cache-dir .repro-cache --out-dir figures
+
+figures-smoke:
+	bash scripts/smoke_figures.sh
+
 bench:
 	$(PYTHON) -m repro bench
 
 bench-check:
 	$(PYTHON) -m repro bench --check
 
+bench-gate:
+	$(PYTHON) -m repro bench --check --compare BENCH_baseline.json
+
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec_scaling.py
 
 clean-cache:
-	rm -rf .repro-cache .smoke-cache .smoke-shard
+	rm -rf .repro-cache .smoke-cache .smoke-shard .smoke-figures figures

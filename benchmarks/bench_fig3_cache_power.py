@@ -7,47 +7,26 @@ plus the paper's two calibration statements:
 * 64 KB @ 2 B tracking → ≈ +5 %;
 * full TCC data cache (RW bits + 1024×10 b store-address FIFO + commit
   controller) → ≈ 1.5× a normal data cache.
+
+Regenerated through the declarative figure pipeline: the benchmark
+times the registered ``fig3-cache-power`` extractor (analytic — no
+simulation, no store reads).
 """
 
 from __future__ import annotations
 
-from repro.harness.reporting import format_matrix
-from repro.power.cacti import (
-    FIG3_CACHE_SIZES_KB,
-    FIG3_GRANULARITIES,
-    tcc_cache_power_curve,
-    tcc_total_power_factor,
-)
+from conftest import print_figure
 
 
-def regenerate_fig3():
-    return {size: tcc_cache_power_curve(size) for size in FIG3_CACHE_SIZES_KB}
-
-
-def test_fig3_tcc_cache_power(benchmark):
-    curves = benchmark(regenerate_fig3)
-    values = {
-        f"{size}KB": {g: p for g, p in curve} for size, curve in curves.items()
-    }
-    print()
-    print(
-        format_matrix(
-            [f"{s}KB" for s in FIG3_CACHE_SIZES_KB],
-            list(FIG3_GRANULARITIES),
-            values,
-            corner="cache \\ RW-bit bytes",
-            title="Fig. 3 — Normalized TCC data-cache power (normal cache = 100)",
-        )
-    )
-    total = tcc_total_power_factor()
-    print(f"Full TCC data cache factor (RW bits + store FIFO + controller): "
-          f"{total:.3f}x  (paper: conservatively 1.5x)")
+def test_fig3_tcc_cache_power(benchmark, analytic_builder):
+    data = benchmark(analytic_builder.data, "fig3")
+    print_figure(analytic_builder, "fig3")
 
     # paper anchor: 64KB, word-level (2B) tracking -> +5%
-    curve64 = dict(curves[64])
-    assert abs(curve64[2] - 105.0) < 0.5
+    assert abs(data["normalized_power"]["64"]["2"] - 105.0) < 0.5
     # shape: monotone growth toward finer tracking, for every size
-    for size, curve in curves.items():
-        powers = [p for _, p in curve]
+    for size in data["cache_sizes_kb"]:
+        curve = data["normalized_power"][str(size)]
+        powers = [curve[str(g)] for g in data["granularities_bytes"]]
         assert powers == sorted(powers)
-    assert abs(total - 1.5) < 0.06
+    assert abs(data["total_power_factor"] - 1.5) < 0.06

@@ -4,6 +4,11 @@ Three applications (genome, yada, intruder) × {4, 8, 16} processors;
 each pair of bars is (ungated N1, gated N2) with the speed-up factor
 annotated on top of the gated bar, exactly as the paper plots it.
 
+Regenerated through the declarative figure pipeline: the shared
+session builder simulates the evaluation grid once into a result store
+and the benchmark times the registered ``fig4-execution-time``
+extractor over the warm store.
+
 Expected agreement (shape, not cycles): gating stays roughly
 performance-neutral-to-positive for the paper's W0 = 8, with the
 highly-conflicting intruder benefiting most and at least one
@@ -13,19 +18,13 @@ genome @ 8 threads did).
 
 from __future__ import annotations
 
-from repro.harness.reporting import format_table
+from conftest import print_figure
 
 
-def test_fig4_parallel_execution_time(benchmark, full_grid):
-    rows = benchmark(full_grid.fig4_rows)
-    print()
-    print(
-        format_table(
-            ["app", "procs", "N1 (ungated)", "N2 (gated)", "speed-up"],
-            rows,
-            title="Fig. 4 — Total parallel execution time (cycles)",
-        )
-    )
+def test_fig4_parallel_execution_time(benchmark, fig_builder):
+    data = benchmark(fig_builder.data, "fig4")
+    print_figure(fig_builder, "fig4")
+    rows = data["rows"]
     speedups = [row[4] for row in rows]
     # shape: no catastrophic slowdown anywhere, and a clear win somewhere
     assert min(speedups) > 0.85

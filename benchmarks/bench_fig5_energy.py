@@ -1,29 +1,23 @@
 """Fig. 5 — energy consumption with and without clock gating.
 
 Same runs as Fig. 4 (the paper derives Figs. 4–6 from one set of
-simulations); the Eq. (6) reduction factor E_ug/E_g is annotated on the
-gated bar.  Expected shape: "moderate to significant energy reductions
-... in all cases" for contended applications, with the high-abort-rate
-intruder saving the most.
+simulations — here literally: both extractors read one result store);
+the Eq. (6) reduction factor E_ug/E_g is annotated on the gated bar.
+Expected shape: "moderate to significant energy reductions ... in all
+cases" for contended applications, with the high-abort-rate intruder
+saving the most.
 """
 
 from __future__ import annotations
 
-from repro.harness.reporting import format_table
+from conftest import print_figure
 
 
-def test_fig5_energy_consumption(benchmark, full_grid):
-    rows = benchmark(full_grid.fig5_rows)
-    print()
-    print(
-        format_table(
-            ["app", "procs", "Eug", "Eg", "reduction (Eq. 6)"],
-            [(a, p, round(eu, 1), round(eg, 1), r) for a, p, eu, eg, r in rows],
-            title="Fig. 5 — Energy consumption (cycle·Prun units)",
-        )
-    )
+def test_fig5_energy_consumption(benchmark, fig_builder):
+    data = benchmark(fig_builder.data, "fig5")
+    print_figure(fig_builder, "fig5")
     by_app: dict[str, list[float]] = {}
-    for app, _procs, _eu, _eg, reduction in rows:
+    for app, _procs, _eu, _eg, reduction in data["rows"]:
         by_app.setdefault(app, []).append(reduction)
     mean = {app: sum(v) / len(v) for app, v in by_app.items()}
 

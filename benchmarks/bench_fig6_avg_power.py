@@ -1,33 +1,28 @@
 """Fig. 6 — average power dissipation with and without clock gating.
 
 Eq. (7): AveragePowerReduction = (Eug/Eg) · (N2/N1).  The identity with
-Figs. 4/5 is asserted, and the per-point averages are printed.
+Figs. 4/5 is asserted across the three extractors — all reading the
+same result store — and the per-point averages are printed.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.reporting import format_table
+from conftest import print_figure
 
 
-def test_fig6_average_power(benchmark, full_grid):
-    rows = benchmark(full_grid.fig6_rows)
-    print()
-    print(
-        format_table(
-            ["app", "procs", "avg P (ungated)", "avg P (gated)",
-             "reduction (Eq. 7)"],
-            rows,
-            title="Fig. 6 — Average power dissipation (fractions of Prun)",
-        )
-    )
-    fig4 = {(a, p): (n1, n2) for a, p, n1, n2, _ in full_grid.fig4_rows()}
-    fig5 = {(a, p): r for a, p, _, _, r in full_grid.fig5_rows()}
-    for app, procs, _pu, _pg, power_reduction in rows:
+def test_fig6_average_power(benchmark, fig_builder):
+    data = benchmark(fig_builder.data, "fig6")
+    print_figure(fig_builder, "fig6")
+    fig4 = {
+        (a, p): (n1, n2) for a, p, n1, n2, _ in fig_builder.data("fig4")["rows"]
+    }
+    fig5 = {(a, p): r for a, p, _, _, r in fig_builder.data("fig5")["rows"]}
+    for app, procs, _pu, _pg, power_reduction in data["rows"]:
         n1, n2 = fig4[(app, procs)]
         assert power_reduction == pytest.approx(fig5[(app, procs)] * n2 / n1)
     # average power must sit between the gated floor and run power
-    for _app, _procs, pu, pg, _r in rows:
+    for _app, _procs, pu, pg, _r in data["rows"]:
         assert 0.2 < pg <= 1.0
         assert 0.2 < pu <= 1.0

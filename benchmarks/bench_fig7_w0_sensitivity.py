@@ -1,8 +1,10 @@
 """Fig. 7 — speed-up as a function of W0 and Np.
 
 Sweeps the contention-management constant :math:`W_0` over
-{1, 2, 4, 8, 16, 32} for each application and processor count, reusing
-one ungated baseline per (app, Np) point.
+{1, 2, 4, 8, 16, 32} for each application and processor count.  Through
+the figure pipeline the grid shares its ungated baselines *and* its
+W0 = 8 gated runs with the Figs. 4–6 evaluation grid by job-digest
+dedup in one result store.
 
 Expected shape (paper): with W0 = 8, speed-up is obtained "for all the
 cases (except for genome with 8 threads)"; W0 has first-order effect,
@@ -12,24 +14,13 @@ changes, W0 can further be adjusted to extract more performance").
 
 from __future__ import annotations
 
-from repro.harness.reporting import format_matrix
-from repro.harness.sweep import DEFAULT_W0_VALUES
+from conftest import print_figure
 
 
-def test_fig7_w0_np_sensitivity(benchmark, full_grid):
-    matrix = benchmark(full_grid.fig7_matrix, DEFAULT_W0_VALUES)
-    print()
-    for app, by_procs in matrix.items():
-        print(
-            format_matrix(
-                sorted(by_procs),
-                list(DEFAULT_W0_VALUES),
-                by_procs,
-                corner="Np \\ W0",
-                title=f"Fig. 7 — Speed-up vs W0 ({app})",
-            )
-        )
-        print()
+def test_fig7_w0_np_sensitivity(benchmark, fig_builder):
+    data = benchmark(fig_builder.data, "fig7")
+    print_figure(fig_builder, "fig7")
+    matrix = data["speedup"]
 
     # W0 is a first-order knob: for the contended app the spread across
     # W0 values must be visible at every processor count.

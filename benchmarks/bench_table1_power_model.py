@@ -1,13 +1,13 @@
 """Table I — the Alpha 21264 @ 65 nm power model.
 
-Regenerates the power factors from the Section VII derivation and
-checks them against the paper's stated values.
+Regenerates the power factors through the ``table1-power-model``
+extractor (Section VII derivation) and checks them against the paper's
+stated values.
 """
 
 from __future__ import annotations
 
-from repro.harness.reporting import format_table
-from repro.power.model import PowerModel, PowerModelParams
+from conftest import print_figure
 
 PAPER_TABLE1 = {
     "Run": 1.0,
@@ -17,11 +17,8 @@ PAPER_TABLE1 = {
 }
 
 
-def test_table1_power_model(benchmark):
-    model = benchmark(PowerModel.derive, PowerModelParams())
-    rows = model.table1_rows()
-    print()
-    print(format_table(["Operation", "Power Factor"], rows,
-                       title="Table I — Power model of Alpha 21264 (derived)"))
-    for operation, factor in rows:
+def test_table1_power_model(benchmark, analytic_builder):
+    data = benchmark(analytic_builder.data, "table1")
+    print_figure(analytic_builder, "table1")
+    for operation, factor in data["rows"]:
         assert abs(factor - PAPER_TABLE1[operation]) < 1e-9, operation

@@ -1,24 +1,23 @@
 """Table II — simulated system parameters.
 
-Confirms the default :class:`~repro.config.SystemConfig` reproduces the
-paper's simulated machine, and prints the table.
+Confirms the default :class:`~repro.config.SystemConfig` (as rendered
+by the ``table2-system-config`` extractor) reproduces the paper's
+simulated machine, and prints the table.
 """
 
 from __future__ import annotations
 
 from repro.config import SystemConfig
-from repro.harness.reporting import format_table
+
+from conftest import print_figure
 
 
-def test_table2_system_parameters(benchmark):
-    config = benchmark(SystemConfig, num_procs=16)
-    rows = config.table2_rows()
-    print()
-    print(format_table(["Feature", "Description"], rows,
-                       title="Table II — Parameters used in the simulation"))
-    table = dict(rows)
+def test_table2_system_parameters(benchmark, analytic_builder):
+    data = benchmark(analytic_builder.data, "table2")
+    print_figure(analytic_builder, "table2")
+    table = dict(tuple(row) for row in data["rows"])
     assert "single issue in-order" in table["CPU"]
     assert table["L1D"].startswith("64KB 64 byte line size, 2-way")
     assert "10 cycle" in table["Directory"]
     assert "100 cycle" in table["Main Memory"]
-    assert config.cache.num_sets == 512
+    assert SystemConfig(num_procs=16).cache.num_sets == 512

@@ -1,23 +1,29 @@
 """Shared fixtures for the benchmark suite.
 
-Every table and figure of the paper has one benchmark module here; the
-simulated experiment grid (Figs. 4–6 share their runs, exactly as in
-the paper) is computed once per session and cached.
+Every table and figure of the paper has one benchmark module here; all
+of them consume the declarative figure pipeline (:mod:`repro.figures`):
+one session-scoped :class:`~repro.figures.builder.FigureBuilder` plans
+every figure's suite against a throw-away result store, simulates each
+unique job exactly once (Figs. 4–6 + headline share the evaluation
+grid; Fig. 7 shares its ungated baselines and W0 = 8 gated runs with it
+by job-digest dedup), and each benchmark times the *extraction* of its
+figure's data from the warm store.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Each benchmark times the regeneration of its table/figure and *prints*
-the rows/series the paper reports, so the textual output doubles as the
-reproduction record (captured into EXPERIMENTS.md).
+Each benchmark prints the rows/series the paper reports (via the shared
+:func:`repro.analysis.figreport.format_figure` renderer), so the
+textual output doubles as the reproduction record (captured into
+EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.experiments import EvaluationSuite
+from repro.figures import FigureBuilder, FigureParams
 
 #: scale/seed used across the benchmark suite; "small" keeps the whole
 #: Fig. 3–7 regeneration to a few minutes in CPython.
@@ -27,12 +33,38 @@ BENCH_PROCS = (4, 8, 16)
 
 
 @pytest.fixture(scope="session")
-def suite() -> EvaluationSuite:
-    return EvaluationSuite(scale=BENCH_SCALE, seed=BENCH_SEED, procs=BENCH_PROCS)
+def fig_builder(tmp_path_factory) -> FigureBuilder:
+    """A figure builder over a warm store: the full grid, run once."""
+    builder = FigureBuilder(
+        store=tmp_path_factory.mktemp("figstore"),
+        out_dir=tmp_path_factory.mktemp("figures"),
+        params=FigureParams(
+            scale=BENCH_SCALE, seed=BENCH_SEED, procs=BENCH_PROCS
+        ),
+    )
+    report = builder.build()
+    assert all(a.status in ("built", "fresh") for a in report.artifacts)
+    return builder
 
 
 @pytest.fixture(scope="session")
-def full_grid(suite: EvaluationSuite) -> EvaluationSuite:
-    """The 3 apps × 3 processor-count grid, run once per session."""
-    suite.run_all()
-    return suite
+def analytic_builder(tmp_path_factory) -> FigureBuilder:
+    """A builder for the analytic artifacts only — zero simulations."""
+    builder = FigureBuilder(
+        store=tmp_path_factory.mktemp("an-store"),
+        out_dir=tmp_path_factory.mktemp("an-figures"),
+        params=FigureParams(
+            scale=BENCH_SCALE, seed=BENCH_SEED, procs=BENCH_PROCS
+        ),
+    )
+    report = builder.build(names=["fig3", "table1", "table2"])
+    assert report.executed == 0
+    return builder
+
+
+def print_figure(builder: FigureBuilder, name: str) -> None:
+    """Print one built artifact as its paper-style text table."""
+    from repro.analysis.figreport import format_figure, load_figure
+
+    print()
+    print(format_figure(load_figure(builder.artifact_path(name))))

@@ -50,3 +50,6 @@ grep -q "3 cache hit(s)" suite_warm.err
 rm -f cold.err warm.err suite_cold.err suite_warm.err
 rm -rf "$CACHE_DIR"
 echo "smoke OK: sweep + suite cached end-to-end, zero re-executions"
+
+echo "== smoke: incremental figure pipeline =="
+bash "$(dirname "$0")/smoke_figures.sh"

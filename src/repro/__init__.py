@@ -125,6 +125,10 @@ __all__ = [
     "run_suite",
     "get_suite",
     "available_suites",
+    "FigureBuilder",
+    "FigureParams",
+    "FigureSpec",
+    "available_figures",
     "__version__",
 ]
 
@@ -145,4 +149,10 @@ from .scenarios import (  # noqa: E402
     get_suite,
     run_suite,
     scenario,
+)
+from .figures import (  # noqa: E402
+    FigureBuilder,
+    FigureParams,
+    FigureSpec,
+    available_figures,
 )

@@ -10,9 +10,14 @@ Turns traces and timelines into the artefacts a systems study needs:
   summaries of the power-state timelines.
 * :mod:`~repro.analysis.runreport` — one text report combining all of
   the above for a run.
+* :mod:`~repro.analysis.figreport` — paper-style text tables rendered
+  from figure-pipeline artifacts (``figures/<name>.json``), consuming
+  the shared :mod:`repro.figures.extract` outputs instead of
+  re-deriving rows.
 """
 
 from .conflicts import ConflictStats, abort_graph, conflict_stats
+from .figreport import format_figure, load_figure
 from .gating import GatingEpisode, extract_episodes, gating_summary
 from .timelines import state_shares, timelines_to_csv
 from .runreport import run_report
@@ -26,5 +31,7 @@ __all__ = [
     "gating_summary",
     "state_shares",
     "timelines_to_csv",
+    "format_figure",
+    "load_figure",
     "run_report",
 ]

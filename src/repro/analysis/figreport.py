@@ -1,0 +1,115 @@
+"""Textual rendering of figure-pipeline artifacts.
+
+The counterpart of :mod:`repro.analysis.runreport` for the declarative
+figure pipeline: takes the JSON payload a
+:class:`~repro.figures.builder.FigureBuilder` produced (or a loaded
+``figures/<name>.json`` file) and renders the same tables/matrices the
+paper prints — so the terminal view, the benchmark transcripts and the
+committed artifacts all derive from ONE extractor output instead of
+each re-deriving rows privately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import FigureError
+from ..harness.reporting import format_matrix, format_table
+
+__all__ = ["format_figure", "load_figure"]
+
+
+def load_figure(path: str | Path) -> dict[str, Any]:
+    """Load one ``figures/<name>.json`` artifact, with shared errors."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise FigureError(f"cannot read figure file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "data" not in payload:
+        raise FigureError(f"{path} is not a figure artifact")
+    return payload
+
+
+def _format_rows(payload: dict[str, Any]) -> str:
+    data = payload["data"]
+    rows = [
+        tuple(
+            round(value, 4) if isinstance(value, float) else value
+            for value in row
+        )
+        for row in data["rows"]
+    ]
+    return format_table(list(data["headers"]), rows, title=payload["title"])
+
+
+def _format_fig7(payload: dict[str, Any]) -> str:
+    data = payload["data"]
+    blocks = []
+    for app in data["apps"]:
+        by_procs = {
+            int(procs): {int(w0): value for w0, value in curve.items()}
+            for procs, curve in data["speedup"][app].items()
+        }
+        blocks.append(format_matrix(
+            sorted(by_procs),
+            list(data["w0_values"]),
+            by_procs,
+            corner="Np \\ W0",
+            title=f"{payload['title']} — {app}",
+        ))
+    return "\n\n".join(blocks)
+
+
+def _format_fig3(payload: dict[str, Any]) -> str:
+    data = payload["data"]
+    values = {
+        f"{size}KB": {
+            int(g): power for g, power in data["normalized_power"][str(size)].items()
+        }
+        for size in data["cache_sizes_kb"]
+    }
+    table = format_matrix(
+        [f"{size}KB" for size in data["cache_sizes_kb"]],
+        list(data["granularities_bytes"]),
+        values,
+        corner="cache \\ B/RW-bit",
+        title=payload["title"],
+    )
+    return (
+        f"{table}\n"
+        f"full TCC data-cache factor: {data['total_power_factor']:.3f}x"
+    )
+
+
+def _format_scalars(payload: dict[str, Any]) -> str:
+    rows = [
+        (key, round(value, 4) if isinstance(value, float) else value)
+        for key, value in payload["data"].items()
+    ]
+    return format_table(["metric", "value"], rows, title=payload["title"])
+
+
+def format_figure(payload: dict[str, Any]) -> str:
+    """Render any figure artifact payload as the paper-style text table.
+
+    Dispatches through the same shape classifier the CSV/PNG renderers
+    use (:func:`repro.figures.render.data_shape`), so all three stay in
+    sync when a new data shape is introduced.
+    """
+    from ..figures.render import data_shape
+
+    shape = data_shape(payload.get("data"))
+    if shape == "rows":
+        return _format_rows(payload)
+    if shape == "matrix":
+        return _format_fig7(payload)
+    if shape == "curves":
+        return _format_fig3(payload)
+    if shape == "scalars":
+        return _format_scalars(payload)
+    raise FigureError(
+        f"figure {payload.get('name')!r} has no text representation"
+    )

@@ -22,6 +22,7 @@ from .report import (
     bench_payload,
     compare_payloads,
     load_bench_json,
+    regression_failures,
     write_bench_json,
 )
 
@@ -32,6 +33,7 @@ __all__ = [
     "bench_payload",
     "compare_payloads",
     "load_bench_json",
+    "regression_failures",
     "run_benchmarks",
     "run_timed",
     "write_bench_json",

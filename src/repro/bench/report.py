@@ -29,6 +29,7 @@ __all__ = [
     "bench_payload",
     "compare_payloads",
     "load_bench_json",
+    "regression_failures",
     "write_bench_json",
     "format_results",
 ]
@@ -94,6 +95,55 @@ def compare_payloads(
         "after": {k: after[k] for k in ("label", "host", "benchmarks")},
         "speedup": speedup,
     }
+
+
+def regression_failures(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    max_regression_pct: float = 25.0,
+) -> list[str]:
+    """The CI regression gate: which benchmarks got unacceptably slower?
+
+    Compares per-benchmark throughput (``units_per_second``) of
+    *current* against *baseline* and reports every benchmark whose
+    throughput dropped by more than ``max_regression_pct`` percent.
+    Benchmarks present in only one payload are ignored (adding or
+    retiring a benchmark must not fail the gate).  Returns
+    human-readable failure lines; an empty list means the gate passes.
+
+    Baselines are only comparable within one runner class — commit one
+    ``BENCH_baseline.json`` per class of machine you gate on.
+    """
+    if not 0.0 <= max_regression_pct < 100.0:
+        raise BenchmarkError(
+            f"max_regression_pct must be in [0, 100): {max_regression_pct}"
+        )
+    for payload, role in ((baseline, "baseline"), (current, "current")):
+        if payload.get("kind") != "bench":
+            # e.g. a comparison-kind BENCH_pr*.json: no 'benchmarks' key,
+            # which would make the gate pass vacuously
+            raise BenchmarkError(
+                f"{role} payload is not a bench session "
+                f"(kind={payload.get('kind')!r})"
+            )
+    floor = 1.0 - max_regression_pct / 100.0
+    failures = []
+    for name, entry in sorted(current.get("benchmarks", {}).items()):
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            continue
+        base_rate = float(base["units_per_second"])
+        if base_rate <= 0.0:
+            continue
+        ratio = float(entry["units_per_second"]) / base_rate
+        if ratio < floor:
+            failures.append(
+                f"{name}: {ratio:.2f}x of baseline throughput "
+                f"({float(entry['units_per_second']):,.0f} vs "
+                f"{base_rate:,.0f} {entry.get('unit', 'units')}/s; "
+                f"allowed floor {floor:.2f}x)"
+            )
+    return failures
 
 
 def write_bench_json(path: str | Path, payload: dict[str, Any]) -> Path:

@@ -10,9 +10,15 @@ Commands
                 ``run`` (optionally ``--shard K/N``), ``plan``
                 (cache-aware hit/miss map, no simulation), ``merge``
                 (fold shard result stores into one)
-``bench``       hot-path benchmarks with ``BENCH_*.json`` output
+``figures``     declarative paper artifacts: ``list``, ``status``,
+                ``build`` — plan each figure's suite against the result
+                store, simulate only residual misses, re-render only
+                stale ``figures/*.json``
+``bench``       hot-path benchmarks with ``BENCH_*.json`` output; with
+                ``--compare BASELINE.json`` a CI regression gate
 ``cache-power`` the Fig. 3 TCC-cache power analysis
-``exec-status`` inspect (or ``--prune``) a result-cache directory
+``exec-status`` inspect (or ``--prune``, optionally ``--older-than`` /
+                ``--label``) a result-cache directory
 ``list``        available workloads and contention managers
 
 Execution control (``compare``, ``evaluate``, ``sweep``, ``suite run``)
@@ -222,6 +228,66 @@ def build_parser() -> argparse.ArgumentParser:
                                "missing)")
     _add_store(p_smerge)
 
+    p_fig = sub.add_parser(
+        "figures",
+        help="declarative paper artifacts: incremental, store-driven "
+             "regeneration (list/status/build)",
+    )
+    fig_sub = p_fig.add_subparsers(dest="action", required=True)
+    fig_sub.add_parser("list", help="registered figures and tables")
+    p_fstat = fig_sub.add_parser(
+        "status", help="artifact freshness + store coverage, no simulation"
+    )
+    p_fbuild = fig_sub.add_parser(
+        "build", help="plan suites against the store, simulate only the "
+                      "residual misses, re-render stale artifacts"
+    )
+    for sub_parser in (p_fstat, p_fbuild):
+        sub_parser.add_argument("--only", action="append", metavar="NAME",
+                                help="restrict to one figure (repeatable)")
+        sub_parser.add_argument("--out-dir", default="figures", metavar="DIR",
+                                help="artifact directory (default figures/)")
+        sub_parser.add_argument("--cache-dir", default=".repro-cache",
+                                metavar="PATH",
+                                help="result store feeding the figures "
+                                     "(default .repro-cache)")
+        _add_store(sub_parser)
+        sub_parser.add_argument("--scale", default=None,
+                                choices=("tiny", "small", "medium"))
+        sub_parser.add_argument("--seed", type=int, default=None)
+        sub_parser.add_argument("--apps", nargs="+", metavar="APP",
+                                help="grid applications (default: the "
+                                     "paper's three)")
+        sub_parser.add_argument("--grid", type=int, nargs="+", metavar="N",
+                                help="processor counts (default 4 8 16)")
+        sub_parser.add_argument("--w0", type=int, default=None,
+                                help="evaluation-grid W0 (default 8)")
+        sub_parser.add_argument("--w0-values", type=int, nargs="+",
+                                metavar="W0",
+                                help="Fig. 7 sweep values (default "
+                                     "1 2 4 8 16 32)")
+    p_fbuild.add_argument("--force", action="store_true",
+                          help="re-extract and rewrite fresh artifacts too")
+    p_fbuild.add_argument("--show", action="store_true",
+                          help="print each artifact as a paper-style text "
+                               "table after building")
+    p_fbuild.add_argument("--csv", action="store_true",
+                          help="also export <name>.csv per artifact")
+    p_fbuild.add_argument("--png", action="store_true",
+                          help="also plot <name>.png (needs matplotlib)")
+    p_fbuild.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for residual simulations "
+                               "(0 = one per CPU; default 1)")
+    p_fbuild.add_argument("--no-cache", action="store_true",
+                          help="use a throw-away store: simulate "
+                               "everything, persist nothing")
+    p_fbuild.add_argument("--progress", action="store_true",
+                          help="per-job status and batch speed-up on stderr")
+    p_fbuild.add_argument("--shard", type=_shard_arg, metavar="K/N",
+                          help="simulate only shard K of N of the residual "
+                               "job list (merge stores, then re-build to "
+                               "render)")
+
     p_bench = sub.add_parser(
         "bench", help="micro/meso performance benchmarks (repro.bench)"
     )
@@ -243,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--baseline", metavar="PATH",
                          help="earlier bench JSON to compare against; the "
                               "report becomes a before/after comparison")
+    p_bench.add_argument("--compare", metavar="PATH",
+                         help="regression gate: compare against a committed "
+                              "baseline bench JSON and exit non-zero when "
+                              "any benchmark regresses more than "
+                              "--max-regression percent")
+    p_bench.add_argument("--max-regression", type=float, default=25.0,
+                         metavar="PCT",
+                         help="allowed per-benchmark throughput drop for "
+                              "--compare (default 25)")
 
     sub.add_parser("cache-power", help="Fig. 3 TCC-cache power analysis")
 
@@ -260,6 +335,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--prune", action="store_true",
                           help="compact tombstoned/corrupt/stale records "
                                "out of the store")
+    p_status.add_argument("--older-than", type=float, default=None,
+                          metavar="DAYS",
+                          help="with --prune: also expire records written "
+                               "more than DAYS days ago (age-based GC)")
+    p_status.add_argument("--label", default=None, metavar="TEXT",
+                          help="with --prune: restrict expiry to records "
+                               "whose label contains TEXT")
 
     sub.add_parser("list", help="available workloads and policies")
     return parser
@@ -472,6 +554,109 @@ def _suite_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure_params(args: argparse.Namespace):
+    """FigureParams from the optional CLI overrides (defaults: the paper)."""
+    from .figures import FigureParams
+
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.apps:
+        overrides["apps"] = tuple(args.apps)
+    if args.grid:
+        overrides["procs"] = tuple(args.grid)
+    if args.w0 is not None:
+        overrides["w0"] = args.w0
+    if args.w0_values:
+        overrides["w0_values"] = tuple(args.w0_values)
+    return FigureParams(**overrides)
+
+
+def _figure_builder(args: argparse.Namespace, jobs: int = 1,
+                    progress: bool = False):
+    """A FigureBuilder wired to the CLI's store/out-dir/grid flags."""
+    import os
+
+    from .figures import FigureBuilder
+
+    store = None  # a throw-away temporary store
+    if not getattr(args, "no_cache", False):
+        if args.action == "status" and not os.path.isdir(args.cache_dir):
+            # status is read-only: never create the directory; an empty
+            # throw-away store reports every job as a miss.
+            print(f"no result store at {args.cache_dir}; reporting "
+                  f"against an empty cache", file=sys.stderr)
+        else:
+            store = ResultStore(args.cache_dir, backend=args.store)
+    return FigureBuilder(
+        store=store,
+        out_dir=args.out_dir,
+        params=_figure_params(args),
+        jobs=jobs,
+        progress=ConsoleProgress() if progress else None,
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .figures import figure_help
+
+    if args.action == "list":
+        print(format_table(
+            ["figure", "kind", "suite", "title"],
+            figure_help(),
+            title="Registered paper artifacts",
+        ))
+        return 0
+
+    if args.action == "status":
+        from .figures import FigureStatus
+
+        builder = _figure_builder(args)
+        # one resolve+plan pass; the residual count is unique across
+        # figures (shared suites/jobs count once), matching what a
+        # build would actually simulate
+        statuses, misses, _total = builder.overview(names=args.only)
+        print(format_table(
+            list(FigureStatus.ROW_HEADERS),
+            [status.row() for status in statuses],
+            title=f"figures status — artifacts in {args.out_dir}/",
+        ))
+        stale = sum(
+            1 for status in statuses if status.artifact != "fresh"
+        )
+        print(f"{stale} artifact(s) need building; "
+              f"{misses} residual simulation(s) across requested figures")
+        return 0
+
+    # action == "build"
+    builder = _figure_builder(args, jobs=args.jobs, progress=args.progress)
+    report = builder.build(
+        names=args.only, force=args.force, shard=args.shard,
+        csv=args.csv, png=args.png,
+    )
+    for artifact in report.artifacts:
+        where = f"  -> {artifact.path}" if artifact.path is not None else ""
+        print(f"  {artifact.name}: {artifact.status}{where}")
+    print(report.summary())
+    if args.show:
+        from .analysis.figreport import format_figure, load_figure
+
+        for artifact in report.artifacts:
+            if artifact.path is not None and artifact.path.exists():
+                print()
+                print(format_figure(load_figure(artifact.path)))
+    if report.batch is not None:
+        print(report.batch.summary(), file=sys.stderr)
+    incomplete = [a.name for a in report.artifacts if a.status == "incomplete"]
+    if incomplete:
+        print(f"incomplete (store lacks runs; merge shards and re-build): "
+              f"{', '.join(incomplete)}", file=sys.stderr)
+        return 1 if args.shard is None else 0
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         available_benchmarks,
@@ -498,13 +683,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_results(results))
 
     payload = bench_payload(results, label=args.label)
+    gate_failures: list[str] = []
+    if args.compare:
+        from .bench import regression_failures
+
+        baseline = load_bench_json(args.compare)
+        comparison = compare_payloads(baseline, payload)
+        print(f"gate comparison vs {args.compare}:")
+        for name, factor in sorted(comparison["speedup"].items()):
+            print(f"  {name}: {factor:.2f}x vs baseline")
+        gate_failures = regression_failures(
+            baseline, payload, max_regression_pct=args.max_regression
+        )
     if args.baseline:
         payload = compare_payloads(load_bench_json(args.baseline), payload)
+        print(f"before/after comparison vs {args.baseline}:")
         for name, factor in sorted(payload["speedup"].items()):
             print(f"  {name}: {factor:.2f}x vs baseline")
     if args.out:
         path = write_bench_json(args.out, payload)
         print(f"report written to {path}", file=sys.stderr)
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        print(f"bench gate FAILED: {len(gate_failures)} benchmark(s) "
+              f"regressed more than {args.max_regression:g}% vs "
+              f"{args.compare}", file=sys.stderr)
+        return 1
+    if args.compare:
+        print(f"bench gate OK: no benchmark regressed more than "
+              f"{args.max_regression:g}% vs {args.compare}")
     return 0
 
 
@@ -532,13 +740,22 @@ def _cmd_exec_status(args: argparse.Namespace) -> int:
         # would otherwise masquerade as an empty store).
         print(f"no result store at {args.cache_dir}", file=sys.stderr)
         return 1
+    if (args.older_than is not None or args.label is not None) \
+            and not args.prune:
+        print("--older-than/--label are GC policies for --prune; "
+              "add --prune to apply them", file=sys.stderr)
+        return 2
     store = ResultStore(args.cache_dir, backend=args.store)
     if args.digests:
         for digest in sorted(digest for digest, _label in store.labels()):
             print(digest)
         return 0
     if args.prune:
-        print(store.prune().summary())
+        seconds = (
+            args.older_than * 86400.0 if args.older_than is not None else None
+        )
+        print(store.prune(older_than_seconds=seconds,
+                          label=args.label).summary())
     stats = store.stats()
     print(stats.summary())
     by_workload: dict[str, int] = {}
@@ -573,6 +790,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "suite": _cmd_suite,
+    "figures": _cmd_figures,
     "bench": _cmd_bench,
     "cache-power": _cmd_cache_power,
     "exec-status": _cmd_exec_status,

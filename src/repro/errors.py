@@ -20,6 +20,7 @@ __all__ = [
     "HarnessError",
     "ExecutionError",
     "BenchmarkError",
+    "FigureError",
 ]
 
 
@@ -89,6 +90,15 @@ class ExecutionError(ReproError, RuntimeError):
     Examples: a worker process failing while executing a job (the
     original exception is chained), an unwritable cache directory, or
     an invalid worker count.
+    """
+
+
+class FigureError(ReproError, RuntimeError):
+    """Raised by :mod:`repro.figures` when an artifact cannot be produced.
+
+    Examples: an unknown figure or extractor name, a result store that
+    lacks the runs a figure needs (e.g. after a sharded build), or a
+    renderer whose optional dependency (matplotlib) is unavailable.
     """
 
 

@@ -42,11 +42,14 @@ class PruneReport:
     entries: int
     lines_dropped: int
     bytes_reclaimed: int
+    #: live entries invalidated by a GC policy (age/label) before compaction
+    expired: int = 0
 
     def summary(self) -> str:
+        policy = f", {self.expired} expired by policy" if self.expired else ""
         return (
             f"pruned {self.lines_dropped} dead line(s) "
-            f"({self.bytes_reclaimed} bytes reclaimed); "
+            f"({self.bytes_reclaimed} bytes reclaimed{policy}); "
             f"{self.entries} live entries kept"
         )
 
@@ -160,15 +163,53 @@ class ResultStore:
         """
         self._index = self.backend.compact()
 
-    def prune(self) -> "PruneReport":
-        """Compact the store and report what was dropped.
+    def prune(
+        self,
+        older_than_seconds: float | None = None,
+        label: str | None = None,
+    ) -> "PruneReport":
+        """Compact the store — optionally expiring entries first — and
+        report what was dropped.
 
         Append-oriented storage otherwise only grows: invalidations
         leave the dead record *and* a tombstone behind, crashed appends
         leave unparseable fragments, and schema bumps strand whole
         generations of records.  Pruning rewrites storage with exactly
         the live index — every live result survives byte-for-byte.
+
+        GC policies (shared stores grow unboundedly without them):
+
+        * ``older_than_seconds`` — expire entries whose ``created``
+          timestamp is older than the cutoff (records written before
+          timestamps existed count as infinitely old);
+        * ``label`` — expire entries whose job label contains the text
+          (e.g. a workload name, ``"[medium]"``, or ``"ungated"``).
+
+        When both are given an entry must match **both** to expire, so
+        ``--older-than 30 --label genome`` ages out only one workload's
+        records.  Expiry appends tombstones through the normal
+        invalidation path (safe against concurrent appenders), then
+        compaction drops them from storage.
         """
+        expired = 0
+        if older_than_seconds is not None or label is not None:
+            cutoff = (
+                time.time() - older_than_seconds
+                if older_than_seconds is not None
+                else None
+            )
+            victims = [
+                digest
+                for digest, record in self._index.items()
+                if (cutoff is None
+                    or float(record.get("created", 0.0)) <= cutoff)
+                and (label is None or label in str(record.get("label", "")))
+            ]
+            for digest in victims:
+                self.invalidate(digest)
+            expired = len(victims)
+        # snapshot AFTER expiry: the dropped-line/byte accounting must
+        # include the expired records and their just-appended tombstones
         records_before = self.backend.record_count()
         bytes_before = self.backend.file_bytes()
         self.compact()
@@ -177,6 +218,7 @@ class ResultStore:
             entries=len(self._index),
             lines_dropped=records_before - len(self._index),
             bytes_reclaimed=bytes_before - self.backend.file_bytes(),
+            expired=expired,
         )
 
     def merge_from(self, other: "ResultStore") -> int:

@@ -1,0 +1,65 @@
+"""Declarative figure pipeline: every paper artifact as data.
+
+Each figure/table of the paper is a :class:`FigureSpec` — a scenario
+suite reference, a versioned metric extractor over result-store
+records, and renderers — and the :class:`FigureBuilder` regenerates the
+whole set incrementally: plan suites against the store, simulate only
+the residual misses (one executor batch), extract, and write
+``figures/<name>.json`` with provenance.  ``repro figures
+list|status|build`` is the CLI surface; ``examples/figures_pipeline.py``
+shows a user-defined figure over a custom suite.
+"""
+
+from .builder import BuildReport, FigureArtifact, FigureBuilder, FigureStatus
+from .extract import (
+    ExtractionContext,
+    available_extractors,
+    get_extractor,
+    extractor_version,
+    register_extractor,
+)
+from .registry import (
+    available_figures,
+    eval_grid_suite,
+    figure_help,
+    get_figure,
+    register_figure,
+    w0_grid_suite,
+)
+from .render import (
+    csv_rows,
+    data_shape,
+    figure_payload,
+    render_csv,
+    render_json,
+    render_png,
+)
+from .spec import FIGURE_SCHEMA_VERSION, FigureParams, FigureSpec, figure_digest
+
+__all__ = [
+    "FIGURE_SCHEMA_VERSION",
+    "FigureParams",
+    "FigureSpec",
+    "figure_digest",
+    "FigureBuilder",
+    "FigureStatus",
+    "FigureArtifact",
+    "BuildReport",
+    "ExtractionContext",
+    "available_extractors",
+    "get_extractor",
+    "extractor_version",
+    "register_extractor",
+    "available_figures",
+    "get_figure",
+    "register_figure",
+    "figure_help",
+    "eval_grid_suite",
+    "w0_grid_suite",
+    "csv_rows",
+    "data_shape",
+    "figure_payload",
+    "render_csv",
+    "render_json",
+    "render_png",
+]

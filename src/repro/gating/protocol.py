@@ -178,6 +178,14 @@ class GatingUnit:
             self._send_on(entry, reason="aborter-moved-on")
 
     def _renew(self, entry: GatingEntry) -> None:
+        if entry.abort_count < 1:
+            # The victim committed since this episode began (stale-OFF
+            # recovery let it resume; notify_commit reset its counters)
+            # while this timer chain was still in flight.  The episode
+            # is over: renewing would query Eq. 8 with N_a = 0.  End the
+            # chain in its guaranteed Turn-On instead.
+            self._send_on(entry, reason="victim-committed")
+            return
         entry.renew_count += 1
         self._c_renewals.add()
         self._c_renewals_global.add()

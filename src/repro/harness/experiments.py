@@ -159,68 +159,41 @@ class EvaluationSuite:
             for spec in self.scenario_suite().expand()
             if (spec.workload, spec.threads) in missing
         ]
+        from ..figures.extract import comparisons_from_results
+
         results = run_specs(
             specs, executor=self._exec, power_model=self._model
         )
-        by_point: dict[tuple[str, int], dict[bool, object]] = {}
-        for entry in results:
-            point = by_point.setdefault(
-                (entry.spec.workload, entry.spec.threads), {}
-            )
-            point[entry.spec.gating] = entry.result
-        for (app, num_procs), pair in by_point.items():
-            self._comparisons[(app, num_procs)] = GatingComparison(
-                workload=app,
-                num_procs=num_procs,
-                ungated=pair[False],
-                gated=pair[True],
-            )
+        self._comparisons.update(comparisons_from_results(results))
+
+    def _comparison_grid(self) -> dict[tuple[str, int], GatingComparison]:
+        """Every (app, procs) comparison, lazily filled, as one mapping."""
+        return {
+            (app, num_procs): self.comparison(app, num_procs)
+            for app in self.apps
+            for num_procs in self.procs
+        }
 
     # ------------------------------------------------------------------
-    # figures
+    # figures — row derivations shared with repro.figures.extract
     # ------------------------------------------------------------------
     def fig4_rows(self) -> list[tuple]:
         """(app, procs, N1, N2, speed-up) — Fig. 4's bar pairs."""
-        rows = []
-        for app in self.apps:
-            for num_procs in self.procs:
-                c = self.comparison(app, num_procs)
-                rows.append((app, num_procs, c.n1, c.n2, c.speedup))
-        return rows
+        from ..figures.extract import fig4_rows
+
+        return fig4_rows(self._comparison_grid(), self.apps, self.procs)
 
     def fig5_rows(self) -> list[tuple]:
         """(app, procs, Eug, Eg, reduction factor) — Fig. 5."""
-        rows = []
-        for app in self.apps:
-            for num_procs in self.procs:
-                c = self.comparison(app, num_procs)
-                rows.append(
-                    (
-                        app,
-                        num_procs,
-                        c.ungated.energy.total,
-                        c.gated.energy.total,
-                        c.energy_reduction,
-                    )
-                )
-        return rows
+        from ..figures.extract import fig5_rows
+
+        return fig5_rows(self._comparison_grid(), self.apps, self.procs)
 
     def fig6_rows(self) -> list[tuple]:
         """(app, procs, avg power ungated, gated, reduction) — Fig. 6."""
-        rows = []
-        for app in self.apps:
-            for num_procs in self.procs:
-                c = self.comparison(app, num_procs)
-                rows.append(
-                    (
-                        app,
-                        num_procs,
-                        c.ungated.energy.average_power,
-                        c.gated.energy.average_power,
-                        c.power_reduction,
-                    )
-                )
-        return rows
+        from ..figures.extract import fig6_rows
+
+        return fig6_rows(self._comparison_grid(), self.apps, self.procs)
 
     def fig7_matrix(
         self, w0_values: tuple[int, ...] = DEFAULT_W0_VALUES
@@ -280,24 +253,9 @@ class EvaluationSuite:
         The paper reports the averages as percentages: "average
         speed-up of 4%", "average reduction in the energy consumption
         is 19%", "reduction in the average power dissipation is 13%".
-        A reduction factor ``f`` maps to a percentage as ``1 - 1/f``
-        (energy/power) and ``f - 1`` (speed-up).
         """
-        comparisons = [
-            self.comparison(app, num_procs)
-            for app in self.apps
-            for num_procs in self.procs
-        ]
-        n = len(comparisons)
-        avg_speedup = sum(c.speedup for c in comparisons) / n
-        avg_energy = sum(c.energy_reduction for c in comparisons) / n
-        avg_power = sum(c.power_reduction for c in comparisons) / n
-        return {
-            "average_speedup_factor": avg_speedup,
-            "average_speedup_pct": (avg_speedup - 1.0) * 100.0,
-            "average_energy_reduction_factor": avg_energy,
-            "average_energy_reduction_pct": (1.0 - 1.0 / avg_energy) * 100.0,
-            "average_power_reduction_factor": avg_power,
-            "average_power_reduction_pct": (1.0 - 1.0 / avg_power) * 100.0,
-            "points": float(n),
-        }
+        from ..figures.extract import headline_from_comparisons
+
+        return headline_from_comparisons(
+            self._comparison_grid(), self.apps, self.procs
+        )

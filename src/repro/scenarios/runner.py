@@ -153,46 +153,36 @@ class SuiteRun:
     def paired_rows(self) -> list[tuple]:
         """Gated/ungated pairs with the paper's three reduction metrics.
 
-        A gated scenario pairs with the ungated scenario that is
-        identical in every other spec field (same W0 point first, any
-        W0 otherwise — ungated runs do not depend on W0 for the CMs
-        that declare so).  Suites without such pairs return [].
+        Pairing (gated scenario ↔ the ungated scenario identical in
+        every other spec field, same W0 point first) is the shared
+        :func:`repro.figures.extract.pair_results` derivation — the one
+        the figure pipeline's extractors use.  Suites without such
+        pairs return [].
         """
+        # Lazy: repro.figures builds on the scenario layer; importing it
+        # here (like the harness sweep does for scenarios) avoids a cycle.
+        from ..figures.extract import pair_results
         from ..power.energy import average_power_reduction, energy_reduction
 
-        ungated: dict[tuple, ScenarioResult] = {}
-        for entry in self.results:
-            if not entry.spec.gating:
-                ungated[self._pair_key(entry.spec, with_w0=True)] = entry
-                ungated.setdefault(
-                    self._pair_key(entry.spec, with_w0=False), entry
-                )
         rows = []
-        for entry in self.results:
-            if not entry.spec.gating:
-                continue
-            baseline = ungated.get(
-                self._pair_key(entry.spec, with_w0=True)
-            ) or ungated.get(self._pair_key(entry.spec, with_w0=False))
-            if baseline is None:
-                continue
+        for gated, baseline in pair_results(self.results):
             n1 = baseline.result.parallel_time
-            n2 = entry.result.parallel_time
+            n2 = gated.result.parallel_time
             rows.append(
                 (
-                    entry.spec.workload,
-                    entry.spec.threads,
-                    entry.spec.w0,
+                    gated.spec.workload,
+                    gated.spec.threads,
+                    gated.spec.w0,
                     round(n1 / n2, 3),
                     round(
                         energy_reduction(
-                            baseline.result.energy, entry.result.energy
+                            baseline.result.energy, gated.result.energy
                         ),
                         3,
                     ),
                     round(
                         average_power_reduction(
-                            baseline.result.energy, entry.result.energy
+                            baseline.result.energy, gated.result.energy
                         ),
                         3,
                     ),
@@ -203,19 +193,6 @@ class SuiteRun:
     PAIRED_HEADERS = (
         "workload", "threads", "W0", "speed-up", "energy red.", "power red.",
     )
-
-    @staticmethod
-    def _pair_key(spec: ScenarioSpec, with_w0: bool) -> tuple:
-        return (
-            spec.workload,
-            spec.scale,
-            spec.threads,
-            spec.seed,
-            spec.params,
-            spec.cm,
-            spec.system,
-            spec.w0 if with_w0 else None,
-        )
 
 
 def run_specs(

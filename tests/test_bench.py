@@ -147,3 +147,90 @@ class TestBenchCli:
         assert payload["kind"] == "comparison"
         assert "bench_stats" in payload["speedup"]
         assert "vs baseline" in capsys.readouterr().out
+
+
+class TestRegressionGate:
+    """`repro bench --compare` — the CI gate against a committed baseline."""
+
+    @staticmethod
+    def _payload(rates: dict[str, float]) -> dict:
+        return {
+            "schema": 1,
+            "kind": "bench",
+            "benchmarks": {
+                name: {"name": name, "unit": "units",
+                       "units_per_second": rate}
+                for name, rate in rates.items()
+            },
+        }
+
+    def test_pass_within_threshold(self):
+        from repro.bench import regression_failures
+
+        baseline = self._payload({"a": 100.0, "b": 200.0})
+        current = self._payload({"a": 80.0, "b": 210.0})
+        assert regression_failures(baseline, current,
+                                   max_regression_pct=25.0) == []
+
+    def test_fail_beyond_threshold(self):
+        from repro.bench import regression_failures
+
+        baseline = self._payload({"a": 100.0, "b": 200.0})
+        current = self._payload({"a": 70.0, "b": 210.0})
+        failures = regression_failures(baseline, current,
+                                       max_regression_pct=25.0)
+        assert len(failures) == 1
+        assert failures[0].startswith("a:")
+        assert "0.70x" in failures[0]
+
+    def test_new_and_retired_benchmarks_are_ignored(self):
+        from repro.bench import regression_failures
+
+        baseline = self._payload({"a": 100.0, "gone": 50.0})
+        current = self._payload({"a": 100.0, "new": 1.0})
+        assert regression_failures(baseline, current) == []
+
+    def test_threshold_validation(self):
+        from repro.bench import regression_failures
+
+        with pytest.raises(BenchmarkError, match="max_regression_pct"):
+            regression_failures(self._payload({}), self._payload({}),
+                                max_regression_pct=100.0)
+
+    def test_cli_gate_passes_against_own_baseline(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--out", str(base),
+        ]) == 0
+        capsys.readouterr()
+        # generous threshold: the same bench re-run cannot drop by 95%
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0",
+            "--compare", str(base), "--max-regression", "95",
+        ]) == 0
+        assert "bench gate OK" in capsys.readouterr().out
+
+    def test_cli_gate_fails_on_regression(self, capsys, tmp_path):
+        import json as _json
+
+        base = tmp_path / "base.json"
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--out", str(base),
+        ]) == 0
+        # forge an impossible baseline: current run must look regressed
+        payload = _json.loads(base.read_text())
+        for entry in payload["benchmarks"].values():
+            entry["units_per_second"] *= 1e9
+        base.write_text(_json.dumps(payload))
+        capsys.readouterr()
+        code = main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--compare", str(base),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION bench_stats" in err
+        assert "bench gate FAILED" in err

@@ -229,3 +229,40 @@ class TestSuiteCommands:
 
         with pytest.raises(WorkloadError, match="unknown suite"):
             main(["suite", "run", "--suite", "paper-fig9"])
+
+
+class TestExecStatusGc:
+    """`exec-status --prune --older-than/--label` — store GC policies."""
+
+    def _seed(self, capsys, tmp_path):
+        run_cli(
+            capsys, "sweep", "counter", "--scale", "tiny", "--procs", "2",
+            "--w0-values", "4", "8", "--cache-dir", str(tmp_path),
+        )
+
+    def test_label_gc(self, capsys, tmp_path):
+        self._seed(capsys, tmp_path)  # 3 entries: 1 ungated + 2 gated
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                      "--prune", "--label", "ungated")
+        assert "1 expired by policy" in out
+        assert "2 entries" in out
+
+    def test_age_gc_keeps_fresh_entries(self, capsys, tmp_path):
+        self._seed(capsys, tmp_path)
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                      "--prune", "--older-than", "30")
+        assert "expired by policy" not in out
+        assert "3 entries" in out
+
+    def test_age_gc_expires_old_entries(self, capsys, tmp_path):
+        self._seed(capsys, tmp_path)
+        out = run_cli(capsys, "exec-status", "--cache-dir", str(tmp_path),
+                      "--prune", "--older-than", "0")
+        assert "3 expired by policy" in out
+        assert "0 entries" in out
+
+    def test_gc_flags_require_prune(self, capsys, tmp_path):
+        self._seed(capsys, tmp_path)
+        assert main(["exec-status", "--cache-dir", str(tmp_path),
+                     "--older-than", "30"]) == 2
+        assert "add --prune" in capsys.readouterr().err

@@ -295,3 +295,87 @@ class TestBackendSelection:
     def test_unknown_backend_is_an_error(self, tmp_path):
         with pytest.raises(ExecutionError, match="unknown store backend"):
             ResultStore(tmp_path, backend="postgres")
+
+
+class TestStoreGc:
+    """Age/label-based expiry (`exec-status --prune --older-than/--label`)."""
+
+    def _seed(self, tmp_path, backend_name, seeded_results):
+        (d1, (j1, r1)), (d2, (j2, r2)) = seeded_results.items()
+        store = make_store(tmp_path, backend_name)
+        store.put(d1, r1, job=j1)
+        store.put(d2, r2, job=j2)
+        return store, (d1, j1), (d2, j2)
+
+    def test_age_expiry(self, tmp_path, backend_name, seeded_results):
+        store, (d1, _j1), (d2, _j2) = self._seed(
+            tmp_path, backend_name, seeded_results
+        )
+        # age one record by rewriting its created timestamp far back
+        record = dict(store._index[d1], created=1.0)
+        inject(store, record)
+        store = make_store(tmp_path, backend_name)
+        report = store.prune(older_than_seconds=3600.0)
+        assert report.expired == 1
+        assert report.entries == 1
+        reloaded = make_store(tmp_path, backend_name)
+        assert d1 not in reloaded._index and d2 in reloaded._index
+
+    def test_age_expiry_keeps_fresh_records(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        store, _one, _two = self._seed(tmp_path, backend_name, seeded_results)
+        report = store.prune(older_than_seconds=3600.0)
+        assert report.expired == 0
+        assert report.entries == 2
+
+    def test_missing_timestamp_counts_as_ancient(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        store, (d1, _j1), _two = self._seed(
+            tmp_path, backend_name, seeded_results
+        )
+        record = dict(store._index[d1])
+        record.pop("created")
+        inject(store, record)
+        store = make_store(tmp_path, backend_name)
+        report = store.prune(older_than_seconds=3600.0)
+        assert report.expired == 1
+
+    def test_label_expiry(self, tmp_path, backend_name, seeded_results):
+        store, (d1, j1), (d2, j2) = self._seed(
+            tmp_path, backend_name, seeded_results
+        )
+        # the two seeded jobs differ in gating mode (gated vs ungated)
+        victim_label = "ungated"
+        victims = [d for d, label in store.labels() if victim_label in label]
+        assert len(victims) == 1
+        report = store.prune(label=victim_label)
+        assert report.expired == 1
+        survivors = {d for d, _label in make_store(
+            tmp_path, backend_name).labels()}
+        assert victims[0] not in survivors
+        assert len(survivors) == 1
+
+    def test_both_criteria_are_anded(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        store, (d1, _j1), _two = self._seed(
+            tmp_path, backend_name, seeded_results
+        )
+        # everything is ancient, but only one label matches
+        for digest in list(store._index):
+            inject(store, dict(store._index[digest], created=1.0))
+        store = make_store(tmp_path, backend_name)
+        report = store.prune(older_than_seconds=3600.0, label="ungated")
+        assert report.expired == 1
+        assert report.entries == 1
+
+    def test_policy_prune_summary_mentions_expiry(
+        self, tmp_path, backend_name, seeded_results
+    ):
+        store, _one, _two = self._seed(tmp_path, backend_name, seeded_results)
+        report = store.prune(older_than_seconds=0.0)
+        assert report.expired == 2
+        assert "expired by policy" in report.summary()
+        assert len(make_store(tmp_path, backend_name)) == 0

@@ -238,3 +238,26 @@ class TestGatingScenarios:
                 timeline = result.timelines[event.proc]
                 for seg in timeline.clipped_segments(start, event.time):
                     assert seg.state is ProcState.GATED
+
+
+class TestCommittedVictimRenewal:
+    """Regression: a timer chain outliving the victim's commit must end
+    in a Turn-On, not a renewal.
+
+    Stale-OFF recovery can let a victim resume — and commit, resetting
+    its abort counter — while its gating timer chain is still in
+    flight.  If the renewal check then found the aborter on the same
+    transaction, `_renew` queried Eq. 8 with N_a = 0 and the run died
+    with "gating window queried with no abort recorded" (first seen on
+    the paper figure grid: yada, 16 procs, seed 0, W0 = 16).
+    """
+
+    def test_renew_after_commit_turns_on(self):
+        from repro.exec.jobs import execute_job
+        from repro.scenarios.spec import scenario
+
+        spec = scenario("yada", scale="small", threads=16, seed=0,
+                        gating=True, w0=16)
+        result = execute_job(spec.to_job())
+        assert result.commits > 0
+        assert result.parallel_time > 0
