@@ -8,8 +8,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-sharded figures figures-smoke bench bench-check \
-	bench-gate bench-exec clean-cache
+.PHONY: test smoke smoke-sharded figures figures-smoke obs-smoke bench \
+	bench-check bench-gate bench-exec clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,9 @@ figures:
 figures-smoke:
 	bash scripts/smoke_figures.sh
 
+obs-smoke:
+	bash scripts/smoke_obs.sh
+
 bench:
 	$(PYTHON) -m repro bench
 
@@ -40,4 +43,5 @@ bench-exec:
 	$(PYTHON) benchmarks/bench_exec_scaling.py
 
 clean-cache:
-	rm -rf .repro-cache .smoke-cache .smoke-shard .smoke-figures figures
+	rm -rf .repro-cache .smoke-cache .smoke-shard .smoke-figures \
+		.smoke-obs obs figures

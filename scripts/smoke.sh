@@ -53,3 +53,6 @@ echo "smoke OK: sweep + suite cached end-to-end, zero re-executions"
 
 echo "== smoke: incremental figure pipeline =="
 bash "$(dirname "$0")/smoke_figures.sh"
+
+echo "== smoke: observability (manifests + obs-on/off store identity) =="
+bash "$(dirname "$0")/smoke_obs.sh"

@@ -18,7 +18,11 @@ Commands
                 ``--compare BASELINE.json`` a CI regression gate
 ``cache-power`` the Fig. 3 TCC-cache power analysis
 ``exec-status`` inspect (or ``--prune``, optionally ``--older-than`` /
-                ``--label``) a result-cache directory
+                ``--label``) a result-cache directory; ``--json`` for
+                the full machine-readable statistics
+``obs``         observability runs (docs/observability.md): ``list``,
+                ``show``, ``summary``, ``tail`` over the run manifests
+                and event logs written under ``--obs-dir``
 ``list``        available workloads and contention managers
 
 Execution control (``compare``, ``evaluate``, ``sweep``, ``suite run``)
@@ -31,6 +35,10 @@ Execution control (``compare``, ``evaluate``, ``sweep``, ``suite run``)
                    (detect from the cache directory; default)
 ``--no-cache``     ignore ``--cache-dir`` for this invocation
 ``--progress``     per-job status lines + batch speed-up on stderr
+``--obs-dir D``    structured tracing: spans/events + a run manifest
+                   under D (``REPRO_OBS=1`` enables it by environment)
+``--profile``      wrap each executed job in cProfile and merge the
+                   hot spots into the run manifest
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ from .cm.registry import available_cms
 from .config import GatingConfig, SystemConfig
 from .errors import ExecutionError
 from .exec.backends import BACKEND_CHOICES
-from .exec.executor import Executor
+from .exec.executor import BatchExecutionError, Executor
 from .exec.progress import ConsoleProgress
 from .exec.store import ResultStore
 from .harness.compare import compare_gating
@@ -87,6 +95,18 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
                         help="ignore --cache-dir for this invocation")
     parser.add_argument("--progress", action="store_true",
                         help="per-job status and batch speed-up on stderr")
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs-dir", metavar="DIR",
+                        help="record structured spans/events and a run "
+                             "manifest under DIR (REPRO_OBS=1 enables "
+                             "this by environment; see docs/observability.md)")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each executed job in cProfile and merge "
+                             "the hot spots into the run manifest "
+                             "(implies observability)")
 
 
 def _add_store(parser: argparse.ArgumentParser) -> None:
@@ -116,7 +136,8 @@ def _executor(args: argparse.Namespace) -> Executor:
     if args.cache_dir and not args.no_cache:
         store = ResultStore(args.cache_dir, backend=args.store)
     progress = ConsoleProgress() if args.progress else None
-    return Executor(jobs=args.jobs, store=store, progress=progress)
+    return Executor(jobs=args.jobs, store=store, progress=progress,
+                    profile=getattr(args, "profile", False))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulate only shard K of N of the residual "
                                "job list (merge stores, then re-build to "
                                "render)")
+    _add_obs(p_fbuild)
 
     p_bench = sub.add_parser(
         "bench", help="micro/meso performance benchmarks (repro.bench)"
@@ -342,6 +364,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--label", default=None, metavar="TEXT",
                           help="with --prune: restrict expiry to records "
                                "whose label contains TEXT")
+    p_status.add_argument("--json", action="store_true",
+                          help="emit the full store statistics (backend, "
+                               "session hits/misses, skipped records, "
+                               "per-workload entry counts) as JSON")
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability runs: manifests + event logs "
+                    "(see docs/observability.md)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_olist = obs_sub.add_parser("list", help="recorded runs, oldest first")
+    p_oshow = obs_sub.add_parser(
+        "show", help="one run's manifest (metrics, batches, failures)"
+    )
+    p_osum = obs_sub.add_parser(
+        "summary", help="aggregate metrics across every recorded run"
+    )
+    p_otail = obs_sub.add_parser(
+        "tail", help="the last N records of a run's event log"
+    )
+    for sub_parser in (p_olist, p_oshow, p_osum, p_otail):
+        sub_parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                                help="observability directory (default: "
+                                     "$REPRO_OBS_DIR or obs/)")
+        sub_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    for sub_parser in (p_oshow, p_otail):
+        sub_parser.add_argument("run", nargs="?", default=None,
+                                help="run id or unique prefix "
+                                     "(default: latest)")
+    p_oshow.add_argument("--failures", type=int, default=5, metavar="N",
+                         help="failure details to print (default 5)")
+    p_otail.add_argument("-n", "--lines", type=int, default=20, metavar="N",
+                         help="records to show (default 20)")
 
     sub.add_parser("list", help="available workloads and policies")
     return parser
@@ -596,6 +652,7 @@ def _figure_builder(args: argparse.Namespace, jobs: int = 1,
         params=_figure_params(args),
         jobs=jobs,
         progress=ConsoleProgress() if progress else None,
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -750,23 +807,165 @@ def _cmd_exec_status(args: argparse.Namespace) -> int:
         for digest in sorted(digest for digest, _label in store.labels()):
             print(digest)
         return 0
+    prune_report = None
     if args.prune:
         seconds = (
             args.older_than * 86400.0 if args.older_than is not None else None
         )
-        print(store.prune(older_than_seconds=seconds,
-                          label=args.label).summary())
+        prune_report = store.prune(older_than_seconds=seconds,
+                                   label=args.label)
+        if not args.json:
+            print(prune_report.summary())
     stats = store.stats()
-    print(stats.summary())
     by_workload: dict[str, int] = {}
     for _digest, label in store.labels():
         name = label.split("[", 1)[0] if label else "(unlabelled)"
         by_workload[name] = by_workload.get(name, 0) + 1
+    if args.json:
+        import json as _json
+
+        # the FULL StoreStats — backend, schema, session hits/misses and
+        # the skipped-record count included — so scripts never parse the
+        # human summary text
+        payload = dataclasses.asdict(stats)
+        payload["by_workload"] = by_workload
+        if prune_report is not None:
+            payload["prune"] = dataclasses.asdict(prune_report)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(stats.summary())
     for name in sorted(by_workload):
         print(f"  {name}: {by_workload[name]} cached run(s)")
     if args.verbose:
         for digest, label in sorted(store.labels(), key=lambda e: e[1]):
             print(f"  {digest[:12]}  {label}")
+    return 0
+
+
+def _obs_directory(args: argparse.Namespace) -> str:
+    from .obs import obs_dir_from_env
+
+    return args.obs_dir if args.obs_dir else obs_dir_from_env()
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.summary import (list_runs, load_manifest, resolve_run,
+                              summarize_runs, tail_events)
+
+    directory = _obs_directory(args)
+
+    if args.action == "list":
+        runs = list_runs(directory)
+        if args.json:
+            print(_json.dumps({"directory": directory, "runs": runs},
+                              indent=2))
+            return 0
+        if not runs:
+            print(f"no observability runs in {directory}", file=sys.stderr)
+            return 1
+        for run in runs:
+            try:
+                manifest = load_manifest(directory, run)
+            except Exception:
+                print(f"  {run}  (no manifest)")
+                continue
+            metrics = manifest["metrics"]
+            state = "finished" if manifest.get("finished") else "partial"
+            print(f"  {run}  {state}: {metrics['jobs_executed']} executed, "
+                  f"{metrics['cache_hits']} cache hit(s), "
+                  f"{metrics['failures']} failure(s), "
+                  f"{metrics['wall_seconds']:.2f}s wall")
+        return 0
+
+    if args.action == "summary":
+        summary = summarize_runs(directory)
+        if args.json:
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        totals = summary["totals"]
+        if not totals["runs"]:
+            print(f"no observability runs in {directory}", file=sys.stderr)
+            return 1
+        print(f"{totals['runs']} run(s) in {directory}: "
+              f"{totals['jobs_executed']} executed, "
+              f"{totals['cache_hits']} cache hit(s), "
+              f"{totals['failures']} failure(s)")
+        if totals["hit_rate"] is not None:
+            print(f"  cache hit rate: {totals['hit_rate'] * 100:.1f}%")
+        if totals["sims_per_second"] is not None:
+            print(f"  throughput: {totals['sims_per_second']:.1f} sims/s "
+                  f"over {totals['wall_seconds']:.2f}s wall")
+        for workload, count in sorted(
+                totals["failures_by_workload"].items()):
+            print(f"  failures in {workload}: {count}")
+        return 0
+
+    run = resolve_run(directory, args.run)
+    if args.action == "tail":
+        records = tail_events(directory, run, limit=args.lines)
+        if args.json:
+            print(_json.dumps(records, indent=2, sort_keys=True))
+            return 0
+        for record in records:
+            dur = (f" {record['dur_s'] * 1000:.1f}ms"
+                   if record.get("dur_s") is not None else "")
+            attrs = record.get("attrs") or {}
+            label = attrs.get("label") or attrs.get("figure") \
+                or attrs.get("suite") or ""
+            print(f"  {record.get('kind', '?'):7s} "
+                  f"{record.get('name', '?'):18s}{dur}  {label}")
+        return 0
+
+    # action == "show"
+    manifest = load_manifest(directory, run)
+    if args.json:
+        print(_json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    metrics = manifest["metrics"]
+    print(f"run {manifest['run']} "
+          f"({'finished' if manifest.get('finished') else 'partial'})")
+    print(f"  argv: {' '.join(manifest.get('argv', []))}")
+    print(f"  git:  {manifest.get('git_sha') or '(unknown)'}")
+    print(f"  jobs: {metrics['jobs_executed']} executed, "
+          f"{metrics['cache_hits']} cache hit(s) of "
+          f"{metrics['jobs_submitted']} submitted in "
+          f"{metrics['batches']} batch(es)")
+    if metrics["hit_rate"] is not None:
+        print(f"  cache hit rate: {metrics['hit_rate'] * 100:.1f}%")
+    if metrics["sims_per_second"] is not None:
+        print(f"  throughput: {metrics['sims_per_second']:.1f} sims/s "
+              f"over {metrics['wall_seconds']:.2f}s wall")
+    latency = metrics["job_latency_s"]
+    if latency["count"]:
+        print(f"  job latency: p50 {latency['p50']:.3f}s, "
+              f"p95 {latency['p95']:.3f}s, max {latency['max']:.3f}s "
+              f"({latency['count']} job(s))")
+    counters = manifest.get("counters", {})
+    if counters:
+        print("  counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:.4f}" if isinstance(value, float) \
+                and not value.is_integer() else f"{int(value)}"
+            print(f"    {name}: {rendered}")
+    failures = manifest.get("failures", {})
+    detail = failures.get("detail", [])
+    if detail:
+        shown = detail[:max(args.failures, 0)]
+        print(f"  failures ({len(shown)} of "
+              f"{metrics['failures']} shown):")
+        for failure in shown:
+            print(f"    {failure['digest'][:12]}  {failure['label']}: "
+                  f"{failure['error']}")
+    if "profile" in manifest:
+        top = manifest["profile"]["top"][:10]
+        print(f"  profile ({manifest['profile']['jobs']} job(s), "
+              f"top {len(top)} by cumulative time):")
+        for row in top:
+            print(f"    {row['cumtime_s']:8.3f}s  {row['ncalls']:>8d}  "
+                  f"{row['func']}")
     return 0
 
 
@@ -794,13 +993,77 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "cache-power": _cmd_cache_power,
     "exec-status": _cmd_exec_status,
+    "obs": _cmd_obs,
     "list": _cmd_list,
 }
+
+#: how many job failures the CLI details before truncating
+FAILURES_SHOWN = 5
+
+
+def _obs_setup(args: argparse.Namespace, argv: Sequence[str] | None):
+    """Activate observability for this invocation when asked to.
+
+    Returns ``(recorder, mode)`` where mode is ``"flag"`` (activated by
+    ``--obs-dir``/``--profile`` — environment exports are cleaned up
+    afterwards), ``"env"`` (``REPRO_OBS=1`` — the environment is left
+    alone so sibling invocations keep recording), or ``None`` (off).
+    The ``obs`` command itself never records a run about reading runs.
+    """
+    import os as _os
+
+    from . import obs
+
+    if args.command == "obs":
+        return obs.get_recorder(), None
+    recorded_argv = ["repro", *argv] if argv is not None else None
+    if getattr(args, "obs_dir", None):
+        return obs.configure(args.obs_dir, argv=recorded_argv), "flag"
+    if obs.obs_enabled_from_env():
+        run_id = _os.environ.get("REPRO_OBS_RUN", "").strip() or None
+        return obs.configure(
+            obs.obs_dir_from_env(), run_id=run_id, argv=recorded_argv
+        ), "env"
+    if getattr(args, "profile", False):
+        # --profile without a destination: default observability dir
+        return obs.configure(
+            obs.obs_dir_from_env(), argv=recorded_argv
+        ), "flag"
+    return obs.get_recorder(), None
+
+
+def _print_failures(exc: BatchExecutionError) -> None:
+    """Per-failure digests and errors instead of a bare tally."""
+    print(f"error: {exc}", file=sys.stderr)
+    for failure in exc.failures[:FAILURES_SHOWN]:
+        print(f"  FAILED {failure.digest[:12]}  {failure.label}: "
+              f"{failure.error}", file=sys.stderr)
+    hidden = len(exc.failures) - FAILURES_SHOWN
+    if hidden > 0:
+        print(f"  ... and {hidden} more failure(s)", file=sys.stderr)
+    print("first failure traceback:", file=sys.stderr)
+    print(exc.failures[0].traceback.rstrip(), file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    recorder, obs_mode = _obs_setup(args, argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BatchExecutionError as exc:
+        _print_failures(exc)
+        return 1
+    finally:
+        if obs_mode is not None:
+            from . import obs
+
+            recorder.close()
+            if recorder.enabled and recorder.manifest_path.exists():
+                print(f"obs: run manifest {recorder.manifest_path}",
+                      file=sys.stderr)
+            if obs_mode == "flag":
+                obs.disable()
+            obs.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,7 +45,7 @@ from .backends import (
     create_backend,
     detect_backend,
 )
-from .executor import BatchReport, Executor
+from .executor import BatchExecutionError, BatchReport, Executor, JobFailure
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob, execute_job
 from .progress import ConsoleProgress, NullProgress, ProgressListener
 from .store import PruneReport, ResultStore, StoreStats
@@ -57,6 +57,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "Executor",
     "BatchReport",
+    "BatchExecutionError",
+    "JobFailure",
     "ResultStore",
     "StoreStats",
     "PruneReport",

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from ...obs import get_recorder
 from ..jobs import SCHEMA_VERSION
 from .base import StoreBackend
 
@@ -48,7 +50,12 @@ class JsonlBackend(StoreBackend):
             yield
             return
         with open(self._lock_path, "ab") as fh:
+            waited = time.perf_counter()
             fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            waited = time.perf_counter() - waited
+            recorder = get_recorder()
+            recorder.count("store.lock_acquisitions")
+            recorder.count("store.lock_wait_s", waited)
             try:
                 yield
             finally:

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from typing import Any
 
 from ...errors import ExecutionError
+from ...obs import get_recorder
 from ..jobs import SCHEMA_VERSION
 from .base import StoreBackend
 
@@ -109,6 +111,20 @@ class SqliteBackend(StoreBackend):
 
     def append(self, record: dict[str, Any]) -> None:
         conn = self._connect()
+        # the busy-timeout retry loop inside sqlite is this backend's
+        # equivalent of the JSONL flock wait — surface it the same way
+        started = time.perf_counter()
+        try:
+            self._append(conn, record)
+        finally:
+            recorder = get_recorder()
+            recorder.count("store.lock_acquisitions")
+            recorder.count(
+                "store.lock_wait_s", time.perf_counter() - started
+            )
+
+    @staticmethod
+    def _append(conn: sqlite3.Connection, record: dict[str, Any]) -> None:
         if record.get("tombstone"):
             conn.execute(
                 "INSERT OR REPLACE INTO records "

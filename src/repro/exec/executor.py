@@ -20,6 +20,17 @@ submission order, through three stages:
 Every ``run`` leaves a :class:`BatchReport` on
 :attr:`Executor.last_report` with per-batch totals and the measured
 serial-equivalent speed-up.
+
+Observability (:mod:`repro.obs`): each ``run`` is a ``batch`` span;
+every executed job lands as a ``job`` span carrying its digest, worker
+pid, duration, and the simulator's transaction/gating counters; cache
+hits are ``job.cache_hit`` events and failures are ``job.failed``
+events with the full worker traceback.  Spans are recorded in the
+*parent* process as results land (workers never write the event log on
+the pool path), and the run manifest is rewritten after every batch —
+so a killed run still documents everything that finished.  All of it
+no-ops through :class:`~repro.obs.NullRecorder` when observability is
+off, leaving result bytes untouched.
 """
 
 from __future__ import annotations
@@ -27,24 +38,77 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import traceback as _tb
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..errors import ExecutionError
+from ..obs import get_recorder
 from .jobs import ExecResult, RunJob, execute_job
 from .progress import ProgressListener
 from .store import ResultStore
 
-__all__ = ["Executor", "BatchReport"]
+__all__ = ["Executor", "BatchReport", "BatchExecutionError", "JobFailure"]
+
+#: sim counter namespaces surfaced into job spans — the abort/retry and
+#: clock-gating activity that explains *why* a grid point behaved as it
+#: did (everything else in ``counters`` is derivable from the result)
+SPAN_COUNTER_PREFIXES = ("tx.", "gating.")
 
 
-def _timed_execute(job: RunJob) -> tuple[ExecResult, float]:
-    """Pool entry point: run one job, measuring its own wall clock."""
+def _timed_execute(
+    job: RunJob, profile: bool = False
+) -> tuple[ExecResult, float, int, list[tuple[str, int, float, float]] | None]:
+    """Pool entry point: run one job, measuring its own wall clock.
+
+    Returns ``(result, seconds, worker pid, profile rows | None)``; the
+    pid and optional cProfile rows feed the parent-side job span and
+    manifest.
+    """
     started = time.perf_counter()
-    result = execute_job(job)
-    return result, time.perf_counter() - started
+    if profile:
+        from ..obs.profile import profile_call
+
+        result, rows = profile_call(execute_job, job)
+    else:
+        result, rows = execute_job(job), None
+    return result, time.perf_counter() - started, os.getpid(), rows
+
+
+def _span_counters(result: ExecResult) -> dict[str, float]:
+    """The tx/gating slice of a result's counters, for its job span."""
+    return {
+        name: value
+        for name, value in result.counters.items()
+        if name.startswith(SPAN_COUNTER_PREFIXES)
+    }
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed job, with enough context to reproduce and debug it."""
+
+    digest: str
+    label: str
+    workload: str
+    error: str
+    traceback: str
+
+
+class BatchExecutionError(ExecutionError):
+    """A batch aborted on job failure(s); carries per-job detail.
+
+    ``failures`` lists every failure observed before the batch stopped
+    (the pool can surface several at once); the message stays
+    compatible with the plain :class:`ExecutionError` it replaces by
+    leading with the first failure.
+    """
+
+    def __init__(self, message: str, failures: Sequence[JobFailure]):
+        super().__init__(message)
+        self.failures = list(failures)
 
 
 @dataclass(frozen=True)
@@ -59,6 +123,7 @@ class BatchReport:
     workers: int
     wall_seconds: float
     run_seconds: float
+    failed: int = 0
 
     @property
     def speedup(self) -> float:
@@ -91,6 +156,7 @@ class BatchReport:
                 if self.executed
                 else ""
             )
+            + (f" [{self.failed} FAILED]" if self.failed else "")
         )
 
 
@@ -114,6 +180,11 @@ class Executor:
     refresh:
         Skip cache *reads* (every unique job re-executes) while still
         writing results back — recompute-and-overwrite semantics.
+    profile:
+        Wrap each executed job in :mod:`cProfile` and merge the hot
+        spots into the observability run manifest.  Meaningful only
+        with observability enabled; adds real overhead, so it is strictly
+        opt-in.
     """
 
     def __init__(
@@ -122,6 +193,7 @@ class Executor:
         store: ResultStore | str | Path | None = None,
         progress: ProgressListener | None = None,
         refresh: bool = False,
+        profile: bool = False,
     ):
         if jobs < 0:
             raise ExecutionError(f"worker count cannot be negative: {jobs}")
@@ -131,14 +203,27 @@ class Executor:
         self.store = store
         self.progress = progress if progress is not None else ProgressListener()
         self.refresh = refresh
+        self.profile = profile
         self.last_report: BatchReport | None = None
 
     # ------------------------------------------------------------------
     def run(self, batch: Sequence[RunJob]) -> list[ExecResult]:
         """Resolve every job; returns results in submission order."""
+        recorder = get_recorder()
+        try:
+            with recorder.span("batch", total=len(batch)) as span:
+                return self._run_observed(list(batch), recorder, span)
+        finally:
+            # one manifest rewrite (and one fsync) per batch, success or
+            # not — crashed runs keep everything that finished
+            recorder.write_manifest()
+
+    def _run_observed(
+        self, batch: list[RunJob], recorder: Any, span: Any
+    ) -> list[ExecResult]:
         started = time.perf_counter()
-        batch = list(batch)
         digests = [job.digest for job in batch]
+        recorder.note_jobs(digests)
 
         unique: dict[str, RunJob] = {}
         for job, digest in zip(batch, digests):
@@ -150,6 +235,12 @@ class Executor:
                 cached = self.store.get(digest)
                 if cached is not None:
                     results[digest] = cached
+                    if recorder.enabled:
+                        recorder.event(
+                            "job.cache_hit",
+                            digest=digest,
+                            label=unique[digest].label(),
+                        )
         cache_hits = len(results)
 
         pending = [
@@ -163,24 +254,36 @@ class Executor:
         )
 
         run_seconds = 0.0
-        if pending:
-            if workers <= 1:
-                run_seconds = self._run_serial(pending, results)
-            else:
-                run_seconds = self._run_pool(pending, results, workers)
-
-        report = BatchReport(
-            total=len(batch),
-            unique=len(unique),
-            deduplicated=len(batch) - len(unique),
-            cache_hits=cache_hits,
-            executed=len(pending),
-            workers=max(workers, 1),
-            wall_seconds=time.perf_counter() - started,
-            run_seconds=run_seconds,
-        )
-        self.last_report = report
-        self.progress.batch_finished(report)
+        failed = 0
+        try:
+            if pending:
+                if workers <= 1:
+                    run_seconds = self._run_serial(pending, results, recorder)
+                else:
+                    run_seconds = self._run_pool(
+                        pending, results, workers, recorder
+                    )
+        except BatchExecutionError as exc:
+            failed = len(exc.failures)
+            raise
+        finally:
+            executed = len(results) - cache_hits
+            report = BatchReport(
+                total=len(batch),
+                unique=len(unique),
+                deduplicated=len(batch) - len(unique),
+                cache_hits=cache_hits,
+                executed=executed if failed else len(pending),
+                workers=max(workers, 1),
+                wall_seconds=time.perf_counter() - started,
+                run_seconds=run_seconds,
+                failed=failed,
+            )
+            self.last_report = report
+            span.annotate(**dataclasses.asdict(report))
+            recorder.note_batch(dataclasses.asdict(report))
+            if not failed:
+                self.progress.batch_finished(report)
 
         # Fan results back out in submission order.  A dedup/cache hit can
         # hand back a result computed under a digest-equivalent but not
@@ -200,28 +303,89 @@ class Executor:
         return self.run([job])[0]
 
     # ------------------------------------------------------------------
-    def _record(self, digest: str, job: RunJob, result: ExecResult,
-                results: dict[str, ExecResult]) -> None:
+    def _record(
+        self,
+        digest: str,
+        job: RunJob,
+        result: ExecResult,
+        results: dict[str, ExecResult],
+        recorder: Any,
+        seconds: float,
+        pid: int,
+        profile_rows: list[tuple[str, int, float, float]] | None,
+    ) -> None:
         """Land one finished result — write-through to the store so
         completed work survives even if a later job in the batch fails."""
         results[digest] = result
         if self.store is not None:
             self.store.put(digest, result, job=job)
+        recorder.note_job_seconds(seconds)
+        if recorder.enabled:
+            recorder.complete_span(
+                "job",
+                seconds,
+                digest=digest,
+                label=job.label(),
+                workload=job.spec.name,
+                worker_pid=pid,
+                cached=False,
+                counters=_span_counters(result),
+            )
+        if profile_rows is not None:
+            recorder.add_profile(profile_rows)
+
+    def _fail(
+        self,
+        failures: list[JobFailure],
+        recorder: Any,
+    ) -> BatchExecutionError:
+        """Record failure events and build the batch error (not raised
+        here so callers keep their own ``raise ... from exc`` chain)."""
+        for failure in failures:
+            recorder.event(
+                "job.failed",
+                digest=failure.digest,
+                label=failure.label,
+                workload=failure.workload,
+                error=failure.error,
+                traceback=failure.traceback,
+            )
+            recorder.note_failure(
+                failure.workload, failure.digest, failure.label, failure.error
+            )
+        first = failures[0]
+        message = (
+            f"job {first.label} ({first.digest[:12]}) failed in "
+            f"worker: {first.error}"
+        )
+        if len(failures) > 1:
+            message += f" (+{len(failures) - 1} more failure(s))"
+        return BatchExecutionError(message, failures)
 
     def _run_serial(
         self,
         pending: list[tuple[str, RunJob]],
         results: dict[str, ExecResult],
+        recorder: Any,
     ) -> float:
         run_seconds = 0.0
         for done, (digest, job) in enumerate(pending, start=1):
             try:
-                result, seconds = _timed_execute(job)
+                result, seconds, pid, rows = _timed_execute(
+                    job, self.profile
+                )
             except Exception as exc:
-                raise ExecutionError(
-                    f"job {job.label()} ({digest[:12]}) failed: {exc}"
-                ) from exc
-            self._record(digest, job, result, results)
+                failure = JobFailure(
+                    digest=digest,
+                    label=job.label(),
+                    workload=job.spec.name,
+                    error=str(exc),
+                    traceback="".join(_tb.format_exception(exc)),
+                )
+                raise self._fail([failure], recorder) from exc
+            self._record(
+                digest, job, result, results, recorder, seconds, pid, rows
+            )
             run_seconds += seconds
             self.progress.job_finished(done, len(pending), job, seconds)
         return run_seconds
@@ -231,12 +395,13 @@ class Executor:
         pending: list[tuple[str, RunJob]],
         results: dict[str, ExecResult],
         workers: int,
+        recorder: Any,
     ) -> float:
         run_seconds = 0.0
         done = 0
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_timed_execute, job): (digest, job)
+                pool.submit(_timed_execute, job, self.profile): (digest, job)
                 for digest, job in pending
             }
             remaining = set(futures)
@@ -244,19 +409,37 @@ class Executor:
                 finished, remaining = wait(
                     remaining, return_when=FIRST_EXCEPTION
                 )
+                # land every success in this wave first — the store
+                # write-through must not lose completed work to a
+                # sibling's failure
+                failures: list[JobFailure] = []
+                first_exc: Exception | None = None
                 for future in finished:
                     digest, job = futures[future]
                     try:
-                        result, seconds = future.result()
+                        result, seconds, pid, rows = future.result()
                     except Exception as exc:
-                        for other in remaining:
-                            other.cancel()
-                        raise ExecutionError(
-                            f"job {job.label()} ({digest[:12]}) failed in "
-                            f"worker: {exc}"
-                        ) from exc
-                    self._record(digest, job, result, results)
+                        if first_exc is None:
+                            first_exc = exc
+                        failures.append(
+                            JobFailure(
+                                digest=digest,
+                                label=job.label(),
+                                workload=job.spec.name,
+                                error=str(exc),
+                                traceback="".join(_tb.format_exception(exc)),
+                            )
+                        )
+                        continue
+                    self._record(
+                        digest, job, result, results, recorder, seconds,
+                        pid, rows,
+                    )
                     run_seconds += seconds
                     done += 1
                     self.progress.job_finished(done, len(pending), job, seconds)
+                if failures:
+                    for other in remaining:
+                        other.cancel()
+                    raise self._fail(failures, recorder) from first_exc
         return run_seconds

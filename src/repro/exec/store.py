@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
+from ..obs import get_recorder
 from .backends import StoreBackend, create_backend
 from .jobs import SCHEMA_VERSION, ExecResult, RunJob
 from .serialize import result_from_dict, result_to_dict
@@ -112,6 +113,15 @@ class ResultStore:
     # ------------------------------------------------------------------
     def _load(self) -> None:
         self._index, self._skipped = self.backend.load()
+        if self._skipped:
+            recorder = get_recorder()
+            recorder.count("store.skipped_records", self._skipped)
+            if recorder.enabled:
+                recorder.event(
+                    "store.skipped_records",
+                    path=str(self.path),
+                    skipped=self._skipped,
+                )
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> ExecResult | None:
@@ -119,8 +129,10 @@ class ResultStore:
         record = self._index.get(digest)
         if record is None:
             self.misses += 1
+            get_recorder().count("store.misses")
             return None
         self.hits += 1
+        get_recorder().count("store.hits")
         return result_from_dict(record["result"])
 
     def put(self, digest: str, result: ExecResult, job: RunJob | None = None) -> None:
@@ -135,6 +147,7 @@ class ResultStore:
             record["label"] = job.label()
         self.backend.append(record)
         self._index[digest] = record
+        get_recorder().count("store.puts")
 
     def invalidate(self, digest: str) -> bool:
         """Drop one entry (appends a tombstone). Returns True if present."""
@@ -142,6 +155,7 @@ class ResultStore:
         if present:
             self.backend.append({"digest": digest, "tombstone": True})
             self._index.pop(digest, None)
+            get_recorder().count("store.invalidations")
         return present
 
     def clear(self) -> int:
@@ -161,7 +175,9 @@ class ResultStore:
         appending to never deletes their records.  The in-memory index
         refreshes to the rewritten state.
         """
-        self._index = self.backend.compact()
+        with get_recorder().span("store.compact", path=str(self.path)) as span:
+            self._index = self.backend.compact()
+            span.annotate(entries=len(self._index))
 
     def prune(
         self,
@@ -248,8 +264,10 @@ class ResultStore:
         present = digest in self._index
         if present:
             self.hits += 1
+            get_recorder().count("store.hits")
         else:
             self.misses += 1
+            get_recorder().count("store.misses")
         return present
 
     def __len__(self) -> int:

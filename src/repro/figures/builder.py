@@ -34,6 +34,7 @@ from ..errors import FigureError
 from ..exec.executor import BatchReport, Executor
 from ..exec.progress import ProgressListener
 from ..exec.store import ResultStore
+from ..obs import get_recorder
 from ..power.model import PowerModel
 from ..scenarios.runner import ScenarioResult, Shard, SuitePlan, plan_suite
 from .extract import ExtractionContext, get_extractor
@@ -144,6 +145,7 @@ class FigureBuilder:
         jobs: int = 1,
         progress: ProgressListener | None = None,
         power_model: PowerModel | None = None,
+        profile: bool = False,
     ):
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store is None:
@@ -162,7 +164,9 @@ class FigureBuilder:
         self._model = (
             power_model if power_model is not None else PowerModel.derive()
         )
-        self._executor = Executor(jobs=jobs, store=store, progress=progress)
+        self._executor = Executor(
+            jobs=jobs, store=store, progress=progress, profile=profile
+        )
 
     # ------------------------------------------------------------------
     # resolution
@@ -312,44 +316,62 @@ class FigureBuilder:
     ) -> BuildReport:
         """Simulate only the residual misses, then (re)render stale
         artifacts.  See the module docstring for the four stages."""
-        resolved = self._resolved(names)
-        plans = self._suite_plans(resolved)
+        recorder = get_recorder()
+        with recorder.span(
+            "figures.build",
+            shard=str(shard) if shard is not None else None,
+        ) as span:
+            resolved = self._resolved(names)
+            plans = self._suite_plans(resolved)
 
-        # union of residual misses across every suite, deduped by digest
-        misses, total_jobs = self._collect_misses(plans)
-        residual = [
-            (digest, spec)
-            for digest, spec in misses.items()
-            if shard is None or shard.owns(digest)
-        ]
-
-        executed = 0
-        batch = None
-        if residual:
-            from ..scenarios.runner import run_specs
-
-            run_specs(
-                [spec for _digest, spec in residual],
-                executor=self._executor,
-                power_model=self._model,
+            # union of residual misses across every suite, deduped by digest
+            misses, total_jobs = self._collect_misses(plans)
+            residual = [
+                (digest, spec)
+                for digest, spec in misses.items()
+                if shard is None or shard.owns(digest)
+            ]
+            span.annotate(
+                figures=len(resolved),
+                total_jobs=len(total_jobs),
+                planned_misses=len(misses),
+                residual=len(residual),
             )
-            batch = self._executor.last_report
-            executed = batch.executed if batch is not None else len(residual)
 
-        report = BuildReport(
-            total_jobs=len(total_jobs),
-            planned_misses=len(misses),
-            executed=executed,
-            batch=batch,
-            shard=shard,
-        )
-        fetched: dict[str, Any] = {}  # suite JSON -> store results, once
-        for spec, suite, digest in resolved:
-            report.artifacts.append(
-                self._render_one(spec, suite, digest, force=force,
-                                 csv=csv, png=png, fetched=fetched)
+            executed = 0
+            batch = None
+            if residual:
+                from ..scenarios.runner import run_specs
+
+                run_specs(
+                    [spec for _digest, spec in residual],
+                    executor=self._executor,
+                    power_model=self._model,
+                )
+                batch = self._executor.last_report
+                executed = (
+                    batch.executed if batch is not None else len(residual)
+                )
+
+            report = BuildReport(
+                total_jobs=len(total_jobs),
+                planned_misses=len(misses),
+                executed=executed,
+                batch=batch,
+                shard=shard,
             )
-        return report
+            fetched: dict[str, Any] = {}  # suite JSON -> store results, once
+            for spec, suite, digest in resolved:
+                with recorder.span(
+                    "figure", figure=spec.name, digest=digest
+                ) as fig_span:
+                    artifact = self._render_one(
+                        spec, suite, digest, force=force,
+                        csv=csv, png=png, fetched=fetched,
+                    )
+                    fig_span.annotate(status=artifact.status)
+                report.artifacts.append(artifact)
+            return report
 
     def _suite_results(
         self, suite: Any

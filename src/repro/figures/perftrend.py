@@ -1,0 +1,114 @@
+"""The ``perf-trend`` artifact: the committed bench trajectory.
+
+Every performance PR leaves a ``BENCH_*.json`` behind (see
+docs/performance.md) — a plain bench payload (``kind: "bench"``) or a
+before/after comparison (``kind: "comparison"``).  This module renders
+that committed series through the regular figures pipeline: one row per
+(file, label, benchmark) point with its throughput, so the repository's
+performance history is a first-class, provenance-stamped artifact
+instead of loose JSON files.
+
+Staleness plugs into the normal digest machinery via
+:func:`bench_fingerprint` (the :attr:`FigureSpec.fingerprint` hook):
+the figure digest covers the content hash of every bench file, so
+committing a new ``BENCH_*.json`` — or editing one — marks the artifact
+stale exactly like a changed scenario suite would, while leaving every
+simulation-fed figure's digest untouched.
+
+``REPRO_BENCH_DIR`` overrides where the series is read from (tests
+point it at fixtures; the default is the repository root, where the
+bench files are committed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .extract import ExtractionContext, register_extractor
+
+__all__ = ["bench_dir", "bench_files", "bench_fingerprint",
+           "extract_perf_trend", "PERF_TREND_HEADERS"]
+
+_ENV_DIR = "REPRO_BENCH_DIR"
+
+PERF_TREND_HEADERS = ["source", "label", "benchmark", "unit",
+                      "units_per_second"]
+
+
+def bench_dir() -> Path:
+    """Where the committed ``BENCH_*.json`` series lives."""
+    override = os.environ.get(_ENV_DIR, "").strip()
+    if override:
+        return Path(override)
+    # src/repro/figures/perftrend.py -> repository root
+    return Path(__file__).resolve().parents[3]
+
+
+def bench_files() -> list[Path]:
+    """The series, sorted by filename for a stable row order."""
+    directory = bench_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("BENCH_*.json"))
+
+
+def bench_fingerprint() -> list[list[str]]:
+    """(filename, content SHA-256) per bench file — the digest input."""
+    return [
+        [path.name,
+         hashlib.sha256(path.read_bytes()).hexdigest()]
+        for path in bench_files()
+    ]
+
+
+def _series_rows(source: str, label: str,
+                 benchmarks: dict[str, Any]) -> list[list[Any]]:
+    return [
+        [source, label, name, entry.get("unit", ""),
+         entry.get("units_per_second")]
+        for name, entry in sorted(benchmarks.items())
+    ]
+
+
+@register_extractor("perf-trend", version=1)
+def extract_perf_trend(_ctx: ExtractionContext) -> dict[str, Any]:
+    """Rows-shaped data over every committed bench point.
+
+    Plain bench payloads contribute one series; comparison payloads
+    contribute both sides (labelled ``before``/``after`` payload
+    labels), so a PR's pre/post measurement pair stays adjacent in the
+    trend.  Unreadable files are reported in ``skipped`` rather than
+    failing the whole artifact — the trend should survive one corrupt
+    measurement.
+    """
+    rows: list[list[Any]] = []
+    skipped: list[str] = []
+    for path in bench_files():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            skipped.append(path.name)
+            continue
+        if payload.get("kind") == "comparison":
+            for side in ("before", "after"):
+                part = payload.get(side) or {}
+                rows.extend(_series_rows(
+                    path.name,
+                    str(part.get("label") or side),
+                    part.get("benchmarks") or {},
+                ))
+        else:
+            rows.extend(_series_rows(
+                path.name,
+                str(payload.get("label") or path.stem),
+                payload.get("benchmarks") or {},
+            ))
+    return {
+        "headers": list(PERF_TREND_HEADERS),
+        "rows": rows,
+        "skipped": skipped,
+    }

@@ -13,6 +13,7 @@ fig7      figure   W0 sensitivity grid     fig7-w0-sensitivity
 table1    table    — (analytic)            table1-power-model
 table2    table    — (analytic)            table2-system-config
 headline  table    evaluation grid         headline-averages
+perf-trend figure  — (bench files)         perf-trend
 ========  =======  ======================  ==========================
 
 Figs. 4–6 and the headline averages share ONE suite (the paper derives
@@ -31,6 +32,7 @@ from __future__ import annotations
 from ..errors import FigureError
 from ..scenarios.spec import ScenarioSpec
 from ..scenarios.suite import ScenarioSuite, suite
+from .perftrend import bench_fingerprint  # registers the extractor too
 from .spec import FigureParams, FigureSpec
 
 __all__ = [
@@ -199,4 +201,16 @@ register_figure(FigureSpec(
     extractor="headline-averages",
     kind="table",
     suite=eval_grid_suite,
+))
+register_figure(FigureSpec(
+    name="perf-trend",
+    title="Toolkit performance trajectory (committed BENCH_*.json series)",
+    extractor="perf-trend",
+    suite=None,
+    description="the repository's committed bench series as one "
+                "rows-shaped artifact; no simulation (see "
+                "docs/performance.md)",
+    # content-hash of every bench file: committing or editing one marks
+    # the artifact stale through the normal figure-digest machinery
+    fingerprint=bench_fingerprint,
 ))

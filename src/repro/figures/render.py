@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import subprocess
 from pathlib import Path
 from typing import Any
 
 from ..errors import FigureError
 from ..exec.serialize import canonical_json
+from ..vcs import git_sha
 from .spec import FIGURE_SCHEMA_VERSION, FigureSpec
 
 __all__ = [
@@ -57,40 +57,6 @@ def data_shape(data: Any) -> str:
             return "curves"
         return "scalars"
     return "unknown"
-
-
-#: memoized (the SHA cannot change mid-process; one subprocess, not
-#: one per rendered artifact)
-_GIT_SHA_MEMO: tuple[str | None] | None = None
-
-
-def git_sha() -> str | None:
-    """The commit hash of the checkout this code runs from, or ``None``.
-
-    Resolved relative to the package source (not the caller's working
-    directory — provenance must name the simulator commit, not whatever
-    repo the user happened to be in), so installed copies outside a
-    checkout record ``None``.
-    """
-    global _GIT_SHA_MEMO
-    if _GIT_SHA_MEMO is not None:
-        return _GIT_SHA_MEMO[0]
-    _GIT_SHA_MEMO = (_read_git_sha(),)
-    return _GIT_SHA_MEMO[0]
-
-
-def _read_git_sha() -> str | None:
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=Path(__file__).resolve().parent,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    if proc.returncode != 0:
-        return None
-    return proc.stdout.strip() or None
 
 
 def suite_digest(suite: Any) -> str:

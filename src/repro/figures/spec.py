@@ -108,6 +108,11 @@ class FigureSpec:
     #: suite value, ``FigureParams -> suite`` factory, or None (analytic)
     suite: SuiteSource = None
     description: str = ""
+    #: optional extra-identity hook for figures fed by out-of-store
+    #: inputs (e.g. committed ``BENCH_*.json`` files): a callable whose
+    #: JSON-able return value folds into the figure digest, so changed
+    #: inputs mark the artifact stale exactly like a changed suite would
+    fingerprint: Callable[[], Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -154,4 +159,8 @@ def figure_digest(
         "params": params.fingerprint(),
         "power": dataclasses.asdict(power),
     }
+    if spec.fingerprint is not None:
+        # only when the figure declares extra inputs: adding the key
+        # unconditionally would shift every existing figure digest
+        payload["inputs"] = spec.fingerprint()
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

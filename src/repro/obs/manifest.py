@@ -1,0 +1,128 @@
+"""Run manifests: one JSON summary per observed run.
+
+The manifest is the *aggregate* view of a run — the event log answers
+"what happened, in order", the manifest answers "how did it go" without
+replaying thousands of records: command line, git SHA, suite and job
+digests, batch reports, sims/sec, cache hit rate, job-latency
+percentiles, per-workload failure counts, counter totals, and (when
+``--profile`` was on) the merged cProfile hot spots.
+
+It is rewritten atomically after every executor batch, so a crashed or
+killed run still leaves a readable summary of everything that finished.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import TYPE_CHECKING, Any
+
+from ..vcs import git_sha
+from .recorder import OBS_SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .recorder import ObsRecorder
+
+__all__ = ["build_manifest", "percentile", "host_info"]
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Linear-interpolated percentile (q in [0, 100]); None when empty."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def host_info() -> dict[str, Any]:
+    """The same host block the bench payloads record, for comparability."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def build_manifest(recorder: "ObsRecorder",
+                   finished: bool = False) -> dict[str, Any]:
+    """Assemble the manifest payload from a recorder's aggregates."""
+    from .profile import top_rows
+
+    with recorder._mutex:
+        batches = [dict(b) for b in recorder._batches]
+        job_seconds = list(recorder._job_seconds)
+        failures = [dict(f) for f in recorder._failures]
+        failures_by_workload = dict(recorder._failures_by_workload)
+        counters = dict(recorder._counters)
+        suites = dict(recorder._suites)
+        job_digests = sorted(recorder._job_digests)
+        spans = recorder._span_count
+        events = recorder._event_count
+        by_name = dict(recorder._by_name)
+        profile = dict(recorder._profile)
+        profiled_jobs = recorder._profiled_jobs
+
+    total = sum(b.get("total", 0) for b in batches)
+    executed = sum(b.get("executed", 0) for b in batches)
+    cache_hits = sum(b.get("cache_hits", 0) for b in batches)
+    run_seconds = sum(b.get("run_seconds", 0.0) for b in batches)
+    wall_seconds = sum(b.get("wall_seconds", 0.0) for b in batches)
+    probes = executed + cache_hits
+
+    metrics: dict[str, Any] = {
+        "batches": len(batches),
+        "jobs_submitted": total,
+        "jobs_executed": executed,
+        "cache_hits": cache_hits,
+        "failures": sum(failures_by_workload.values()),
+        "hit_rate": (cache_hits / probes) if probes else None,
+        "sims_per_second": (executed / wall_seconds) if wall_seconds > 0
+        else None,
+        "run_seconds": run_seconds,
+        "wall_seconds": wall_seconds,
+        "job_latency_s": {
+            "count": len(job_seconds),
+            "p50": percentile(job_seconds, 50),
+            "p95": percentile(job_seconds, 95),
+            "max": max(job_seconds) if job_seconds else None,
+        },
+    }
+
+    payload: dict[str, Any] = {
+        "schema": OBS_SCHEMA_VERSION,
+        "kind": "run-manifest",
+        "run": recorder.run_id,
+        "finished": finished,
+        "started": recorder.started,
+        "updated": time.time(),
+        "argv": list(recorder.argv),
+        "git_sha": git_sha(),
+        "host": host_info(),
+        "suites": suites,
+        "jobs": {"count": len(job_digests), "digests": job_digests},
+        "batches": batches,
+        "metrics": metrics,
+        "record_counts": {"spans": spans, "events": events,
+                          "by_name": by_name},
+        "counters": counters,
+        "failures": {"by_workload": failures_by_workload,
+                     "detail": failures},
+    }
+    if profiled_jobs:
+        payload["profile"] = {
+            "jobs": profiled_jobs,
+            "top": [
+                {"func": func, "ncalls": int(ncalls),
+                 "tottime_s": tottime, "cumtime_s": cumtime}
+                for func, ncalls, tottime, cumtime in top_rows(profile)
+            ],
+        }
+    return payload

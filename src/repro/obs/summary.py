@@ -1,0 +1,163 @@
+"""Read-side helpers for the ``repro obs`` CLI.
+
+Everything here works on an observability *directory* — the
+``run-<id>.jsonl`` / ``run-<id>.manifest.json`` pairs written by
+:class:`~repro.obs.recorder.ObsRecorder` — and never needs the
+recorder itself, so post-mortem analysis works on a copied-out obs
+directory from any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+__all__ = ["list_runs", "resolve_run", "load_manifest", "load_events",
+           "tail_events", "summarize_runs"]
+
+
+def list_runs(directory: str | Path) -> list[str]:
+    """Run ids present in an obs directory, oldest first.
+
+    Run ids start with a wall-clock stamp, so lexicographic order is
+    chronological order.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    ids = set()
+    for path in directory.glob("run-*.jsonl"):
+        ids.add(path.name[len("run-"):-len(".jsonl")])
+    for path in directory.glob("run-*.manifest.json"):
+        ids.add(path.name[len("run-"):-len(".manifest.json")])
+    return sorted(ids)
+
+
+def resolve_run(directory: str | Path, run: str | None) -> str:
+    """Resolve a run selector: exact id, unique prefix, or latest."""
+    runs = list_runs(directory)
+    if not runs:
+        raise ReproError(f"no observability runs found in {directory}")
+    if run is None or run == "latest":
+        return runs[-1]
+    if run in runs:
+        return run
+    matches = [r for r in runs if r.startswith(run)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ReproError(
+            f"no run matching {run!r} in {directory} "
+            f"(have: {', '.join(runs[-5:])})"
+        )
+    raise ReproError(
+        f"run prefix {run!r} is ambiguous: {', '.join(matches)}"
+    )
+
+
+def load_manifest(directory: str | Path, run: str) -> dict[str, Any]:
+    path = Path(directory) / f"run-{run}.manifest.json"
+    if not path.is_file():
+        raise ReproError(
+            f"run {run} has no manifest at {path} "
+            "(killed before its first batch finished?)"
+        )
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable manifest {path}: {exc}") from exc
+
+
+def load_events(directory: str | Path, run: str) -> Iterator[dict[str, Any]]:
+    """Yield event-log records for one run, skipping torn/garbage lines."""
+    path = Path(directory) / f"run-{run}.jsonl"
+    if not path.is_file():
+        return
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def tail_events(directory: str | Path, run: str,
+                limit: int = 20) -> list[dict[str, Any]]:
+    """The last ``limit`` records of one run's event log."""
+    from collections import deque
+
+    return list(deque(load_events(directory, run), maxlen=max(1, limit)))
+
+
+def summarize_runs(directory: str | Path,
+                   runs: list[str] | None = None) -> dict[str, Any]:
+    """Aggregate manifests across runs into one summary payload.
+
+    Runs that never wrote a manifest are listed as ``skipped`` rather
+    than failing the whole summary.
+    """
+    directory = Path(directory)
+    selected = runs if runs is not None else list_runs(directory)
+    manifests: list[dict[str, Any]] = []
+    skipped: list[str] = []
+    for run in selected:
+        try:
+            manifests.append(load_manifest(directory, run))
+        except ReproError:
+            skipped.append(run)
+
+    executed = sum(m["metrics"]["jobs_executed"] for m in manifests)
+    cache_hits = sum(m["metrics"]["cache_hits"] for m in manifests)
+    failures = sum(m["metrics"]["failures"] for m in manifests)
+    wall = sum(m["metrics"]["wall_seconds"] for m in manifests)
+    probes = executed + cache_hits
+
+    per_run = [
+        {
+            "run": m["run"],
+            "finished": m.get("finished", False),
+            "argv": m.get("argv", []),
+            "batches": m["metrics"]["batches"],
+            "jobs_executed": m["metrics"]["jobs_executed"],
+            "cache_hits": m["metrics"]["cache_hits"],
+            "failures": m["metrics"]["failures"],
+            "hit_rate": m["metrics"]["hit_rate"],
+            "sims_per_second": m["metrics"]["sims_per_second"],
+            "wall_seconds": m["metrics"]["wall_seconds"],
+            "job_latency_s": m["metrics"]["job_latency_s"],
+        }
+        for m in manifests
+    ]
+
+    failures_by_workload: dict[str, int] = {}
+    for m in manifests:
+        for workload, count in m["failures"]["by_workload"].items():
+            failures_by_workload[workload] = (
+                failures_by_workload.get(workload, 0) + count
+            )
+
+    return {
+        "schema": manifests[0]["schema"] if manifests else 1,
+        "kind": "obs-summary",
+        "directory": str(directory),
+        "runs": per_run,
+        "skipped": skipped,
+        "totals": {
+            "runs": len(manifests),
+            "jobs_executed": executed,
+            "cache_hits": cache_hits,
+            "failures": failures,
+            "hit_rate": (cache_hits / probes) if probes else None,
+            "sims_per_second": (executed / wall) if wall > 0 else None,
+            "wall_seconds": wall,
+            "failures_by_workload": failures_by_workload,
+        },
+    }

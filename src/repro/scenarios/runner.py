@@ -30,6 +30,7 @@ from ..errors import ExecutionError
 from ..exec.executor import BatchReport, Executor
 from ..exec.jobs import ExecResult
 from ..exec.store import ResultStore
+from ..obs import get_recorder
 from ..power.model import PowerModel
 from .spec import ScenarioSpec
 from .suite import ScenarioSuite, SpecListSuite
@@ -228,26 +229,41 @@ def run_suite(
     """
     exe = executor if executor is not None else Executor()
     model = power_model if power_model is not None else PowerModel.derive()
-    specs = suite.expand()
-    # lower once: the same jobs serve the shard filter and the execution
-    jobs = [spec.to_job(power=model, validate=validate) for spec in specs]
-    if shard is not None:
-        kept = [
-            (spec, job)
-            for spec, job in zip(specs, jobs)
-            if shard.owns(job.digest)
+    recorder = get_recorder()
+    with recorder.span(
+        "suite.run", suite=suite.name,
+        shard=str(shard) if shard is not None else None,
+    ) as span:
+        specs = suite.expand()
+        # lower once: the same jobs serve the shard filter and the execution
+        jobs = [spec.to_job(power=model, validate=validate) for spec in specs]
+        if shard is not None:
+            kept = [
+                (spec, job)
+                for spec, job in zip(specs, jobs)
+                if shard.owns(job.digest)
+            ]
+            specs = [spec for spec, _job in kept]
+            jobs = [job for _spec, job in kept]
+        span.annotate(scenarios=len(specs))
+        if recorder.enabled and jobs:
+            import hashlib
+
+            recorder.note_suite(
+                suite.name,
+                hashlib.sha256(
+                    "\n".join(sorted(job.digest for job in jobs)).encode()
+                ).hexdigest(),
+            )
+        results = exe.run(jobs)
+        scenario_results = [
+            ScenarioResult(spec=spec, result=result)
+            for spec, result in zip(specs, results)
         ]
-        specs = [spec for spec, _job in kept]
-        jobs = [job for _spec, job in kept]
-    results = exe.run(jobs)
-    scenario_results = [
-        ScenarioResult(spec=spec, result=result)
-        for spec, result in zip(specs, results)
-    ]
-    return SuiteRun(
-        suite=suite, results=scenario_results, report=exe.last_report,
-        shard=shard,
-    )
+        return SuiteRun(
+            suite=suite, results=scenario_results, report=exe.last_report,
+            shard=shard,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -360,21 +376,29 @@ def plan_suite(
     ``run_suite``'s partition exactly.
     """
     model = power_model if power_model is not None else PowerModel.derive()
-    first_spec: dict[str, ScenarioSpec] = {}
-    counts: dict[str, int] = {}
-    for spec in suite.expand():
-        digest = spec.to_job(power=model, validate=validate).digest
-        if shard is not None and not shard.owns(digest):
-            continue
-        first_spec.setdefault(digest, spec)
-        counts[digest] = counts.get(digest, 0) + 1
-    entries = [
-        PlanEntry(
-            digest=digest,
-            cached=(store is not None and digest in store),
-            scenarios=counts[digest],
-            spec=spec,
+    with get_recorder().span(
+        "suite.plan", suite=suite.name,
+        shard=str(shard) if shard is not None else None,
+    ) as span:
+        first_spec: dict[str, ScenarioSpec] = {}
+        counts: dict[str, int] = {}
+        for spec in suite.expand():
+            digest = spec.to_job(power=model, validate=validate).digest
+            if shard is not None and not shard.owns(digest):
+                continue
+            first_spec.setdefault(digest, spec)
+            counts[digest] = counts.get(digest, 0) + 1
+        entries = [
+            PlanEntry(
+                digest=digest,
+                cached=(store is not None and digest in store),
+                scenarios=counts[digest],
+                spec=spec,
+            )
+            for digest, spec in first_spec.items()
+        ]
+        plan = SuitePlan(suite=suite, entries=entries, shard=shard)
+        span.annotate(
+            unique_jobs=plan.unique_jobs, hits=plan.hits, misses=plan.misses
         )
-        for digest, spec in first_spec.items()
-    ]
-    return SuitePlan(suite=suite, entries=entries, shard=shard)
+        return plan

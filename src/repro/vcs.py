@@ -1,0 +1,48 @@
+"""Version-control provenance shared by artifact and manifest writers.
+
+Both the figure pipeline (``figures/*.json`` provenance blocks) and the
+observability layer (``obs/run-*.manifest.json``) stamp their output
+with the commit the simulator ran at.  The lookup lives here, in a
+module with no package dependencies, so either consumer can import it
+without dragging in the other's subsystem.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["git_sha"]
+
+#: memoized (the SHA cannot change mid-process; one subprocess, not
+#: one per written artifact)
+_GIT_SHA_MEMO: tuple[str | None] | None = None
+
+
+def git_sha() -> str | None:
+    """The commit hash of the checkout this code runs from, or ``None``.
+
+    Resolved relative to the package source (not the caller's working
+    directory — provenance must name the simulator commit, not whatever
+    repo the user happened to be in), so installed copies outside a
+    checkout record ``None``.
+    """
+    global _GIT_SHA_MEMO
+    if _GIT_SHA_MEMO is not None:
+        return _GIT_SHA_MEMO[0]
+    _GIT_SHA_MEMO = (_read_git_sha(),)
+    return _GIT_SHA_MEMO[0]
+
+
+def _read_git_sha() -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None

@@ -50,6 +50,7 @@ TINY_PARAMS = FigureParams(
 
 PAPER_ARTIFACTS = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "headline",
+    "perf-trend",
 )
 
 
@@ -265,8 +266,11 @@ class TestGoldenStore:
         return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
 
     def test_every_figure_builds_byte_stable_from_the_committed_store(
-        self, tmp_path, golden_store
+        self, tmp_path, golden_store, monkeypatch
     ):
+        # perf-trend reads BENCH_*.json: pin it to the committed fixture
+        # series so new repo-root bench files don't churn the goldens
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(DATA / "bench_series"))
         builder = FigureBuilder(
             store=golden_store, out_dir=tmp_path / "out",
             params=GOLDEN_PARAMS,
@@ -400,7 +404,7 @@ class TestFiguresCli:
         code, out, _err = self.run(capsys, *argv)
         assert code == 0
         assert "simulated 0 residual job(s)" in out
-        assert "8 fresh" in out
+        assert "9 fresh" in out
 
         code, out, _err = self.run(capsys, "figures", "status",
                                    "--cache-dir", str(tmp_path / "cache"),
