@@ -9,7 +9,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke smoke-sharded figures figures-smoke obs-smoke bench \
-	bench-check bench-gate bench-exec clean-cache
+	bench-check bench-dir bench-gate bench-exec clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,8 +36,14 @@ bench:
 bench-check:
 	$(PYTHON) -m repro bench --check
 
+# the PR 7 flush-storm microbenchmark, full work size
+bench-dir:
+	$(PYTHON) -m repro bench --bench bench_directory
+
+# bare --compare: gate against the newest committed BENCH_*.json
+# session (BENCH_baseline.json as fallback)
 bench-gate:
-	$(PYTHON) -m repro bench --check --compare BENCH_baseline.json
+	$(PYTHON) -m repro bench --check --compare
 
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec_scaling.py

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate the flush-heavy bit-identity golden fixture.
+
+Produces ``tests/data/flush_golden.json`` (run from the repo root with
+``python scripts/regen_flush_golden.py``): job digests and full
+serialized results for the high-contention captures that stress the
+directory commit-flush path — yada and labyrinth at 16 threads, gated
+and ungated.  ``tests/test_determinism.py`` re-runs the same specs and
+compares digests and results byte for byte.
+
+Regenerate ONLY when simulation semantics or the exec schema
+legitimately change — a diff in this file is a behaviour change and
+must be explained in the PR.  Counters added after capture go in
+``FLUSH_COUNTERS_ADDED_SINCE_GOLDEN`` instead of a regen.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.exec.executor import Executor  # noqa: E402
+from repro.exec.serialize import result_to_dict  # noqa: E402
+from repro.scenarios.runner import run_specs  # noqa: E402
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402
+
+GOLDEN_PATH = REPO / "tests" / "data" / "flush_golden.json"
+
+#: the golden grid — mirrored by tests/test_determinism.py
+FLUSH_GOLDEN_SPECS = tuple(
+    ScenarioSpec(
+        workload=workload, scale="tiny", threads=16, seed=0, gating=gating
+    )
+    for workload in ("yada", "labyrinth")
+    for gating in (False, True)
+)
+
+
+def main() -> int:
+    entries = []
+    results = run_specs(list(FLUSH_GOLDEN_SPECS), executor=Executor(jobs=1))
+    for entry in results:
+        entries.append(
+            {
+                "digest": entry.spec.to_job().digest,
+                "spec": entry.spec.to_dict(),
+                "result": result_to_dict(entry.result),
+            }
+        )
+    payload = {
+        "note": (
+            "flush-heavy high-contention capture (directory commit path); "
+            "see tests/test_determinism.py"
+        ),
+        "scale": "tiny",
+        "seed": 0,
+        "threads": 16,
+        "entries": entries,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(entries)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,10 @@ from .core import BenchResult, run_timed
 from .report import (
     bench_payload,
     compare_payloads,
+    find_baseline,
     load_bench_json,
     regression_failures,
+    session_check_mode,
     write_bench_json,
 )
 
@@ -32,9 +34,11 @@ __all__ = [
     "available_benchmarks",
     "bench_payload",
     "compare_payloads",
+    "find_baseline",
     "load_bench_json",
     "regression_failures",
     "run_benchmarks",
     "run_timed",
+    "session_check_mode",
     "write_bench_json",
 ]

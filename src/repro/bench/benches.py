@@ -22,10 +22,22 @@ Benchmarks
 ``bench_cache``
     L1 lookup/touch/fill traffic with a working set sized to force a
     realistic mix of hits, misses and evictions.
+``bench_directory``
+    A sustained directory flush storm: one fill preamble establishes
+    full sharer fan-out, then back-to-back TID-ordered commit flushes
+    (64 lines x 8 words each, writes precomputed outside the timed
+    region) keep the directory on its commit-application path — the
+    batched flush-service loop the PR 7 rewrite targets, measured in
+    lines committed per second.
+``bench_replicates``
+    Seed replicates of one spec through the pool executor — the
+    replicate-pack dispatch path (one warmed process serving a whole
+    seed family instead of one round-trip per job).
 ``bench_e2e_suite``
     The ``smoke`` scenario suite end-to-end on a cold cache (serial
     executor, no result store) — simulations per second as a user
-    experiences them.
+    experiences them.  Runs at ``medium`` scale (``tiny`` in check
+    mode) so the measured work is dominated by simulation, not setup.
 """
 
 from __future__ import annotations
@@ -199,6 +211,170 @@ def bench_cache(check: bool = False, repeats: int = 5, warmup: int = 2) -> Bench
 
 
 # ----------------------------------------------------------------------
+# micro: directory flush storm
+# ----------------------------------------------------------------------
+class _SinkProc:
+    """Stand-in processor absorbing directory-to-processor traffic.
+
+    Only the three entry points the directory calls are provided; the
+    read-set makes every invalidation look like a conflict so the
+    abort-probe branch stays on the measured path.
+    """
+
+    __slots__ = ("read_lines",)
+
+    def __init__(self, read_lines):
+        self.read_lines = set(read_lines)
+
+    def would_abort_on(self, lines) -> bool:
+        read = self.read_lines
+        return any(line in read for line in lines)
+
+    def receive_invalidation(self, msg, gate) -> None:
+        pass
+
+    def receive_flush_done(self, msg) -> None:
+        pass
+
+    def receive_fill_reply(self, msg) -> None:
+        pass
+
+
+class _SinkMachine:
+    __slots__ = ("_procs",)
+
+    def __init__(self, procs):
+        self._procs = procs
+
+    def proc(self, pid):
+        return self._procs[pid]
+
+
+def bench_directory(check: bool = False, repeats: int = 5, warmup: int = 2) -> BenchResult:
+    from ..config import BusConfig, DirectoryConfig, MemoryConfig
+    from ..mem.address import AddressMap
+    from ..mem.bus import Bus
+    from ..mem.directory import Directory
+    from ..mem.memory import MainMemory
+    from ..mem.messages import FillRequest, FlushRequest
+    from ..sim.engine import Engine
+    from ..sim.stats import StatsRegistry
+
+    procs = 8
+    lines_per_flush = 64
+    words_per_line = 8
+    rounds = 4 if check else 125
+    line_bytes = 64
+    block = tuple(range(lines_per_flush))
+    # Flush bodies are precomputed outside the timed region so the
+    # measurement is the directory's commit-application path, not
+    # bench-side tuple construction.  Distinct values per processor keep
+    # the memory image changing across flushes.
+    writes_of = [
+        tuple(
+            (line * line_bytes + w * 8, pid * words_per_line + w)
+            for line in block
+            for w in range(words_per_line)
+        )
+        for pid in range(procs)
+    ]
+
+    def one_repetition() -> int:
+        engine = Engine()
+        stats = StatsRegistry()
+        addr_map = AddressMap(
+            line_bytes=line_bytes, num_dirs=1, memory_bytes=1 << 30
+        )
+        bus = Bus(engine, BusConfig(), stats)
+        memory = MainMemory(engine, MemoryConfig(), stats)
+        directory = Directory(
+            0, engine, bus, memory, DirectoryConfig(), addr_map, stats
+        )
+        directory.attach(_SinkMachine([_SinkProc(block) for _ in range(procs)]))
+
+        # One fan-out preamble: every processor shares every line, so
+        # the first round of flushes victimizes all peers; from then on
+        # each flush re-homes the lines to its committer, keeping a
+        # steady single-victim invalidation stream without re-filling.
+        fill_seq = 0
+        for pid in range(procs):
+            for line in block:
+                fill_seq += 1
+                directory.receive_fill_request(
+                    FillRequest(pid, line, engine.now, fill_seq)
+                )
+        engine.run()
+
+        tid = 0
+        for _ in range(rounds):
+            for pid in range(procs):
+                tid += 1
+                directory.receive_flush_request(
+                    FlushRequest(
+                        pid, tid, block, writes_of[pid], engine.now, "bench"
+                    )
+                )
+                engine.run()
+        return rounds * procs * lines_per_flush
+
+    return run_timed(
+        one_repetition,
+        name="bench_directory",
+        unit="lines",
+        repeats=repeats,
+        warmup=warmup,
+        meta={
+            "procs": procs,
+            "lines_per_flush": lines_per_flush,
+            "words_per_line": words_per_line,
+            "rounds": rounds,
+            "check": check,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# meso: seed replicates through the pool executor
+# ----------------------------------------------------------------------
+def bench_replicates(
+    check: bool = False, repeats: int | None = None, warmup: int | None = None
+) -> BenchResult:
+    from ..exec.executor import Executor
+    from ..scenarios.spec import ScenarioSpec
+
+    replicates = 4 if check else 16
+    workers = 2
+    if repeats is None:
+        repeats = 1 if check else 3
+    if warmup is None:
+        warmup = 0 if check else 1
+
+    def one_repetition() -> int:
+        jobs = [
+            ScenarioSpec(
+                workload="counter", scale="tiny", threads=2, seed=seed
+            ).to_job()
+            for seed in range(replicates)
+        ]
+        results = Executor(jobs=workers).run(jobs)
+        if len(results) != replicates:
+            raise BenchmarkError(
+                f"bench_replicates expected {replicates} results, "
+                f"got {len(results)}"
+            )
+        return replicates
+
+    return run_timed(
+        one_repetition,
+        name="bench_replicates",
+        unit="sims",
+        repeats=repeats,
+        warmup=warmup,
+        meta={"replicates": replicates, "workers": workers, "check": check},
+    )
+
+
+# ----------------------------------------------------------------------
 # meso: the smoke suite, end to end, cold cache
 # ----------------------------------------------------------------------
 def bench_e2e_suite(
@@ -208,7 +384,10 @@ def bench_e2e_suite(
     from ..scenarios.builtin import get_suite
     from ..scenarios.runner import run_suite
 
-    suite = get_suite("smoke", scale="tiny")
+    # medium keeps the measurement simulation-dominated; check mode
+    # shrinks the work (like every other bench), not the shape.
+    scale = "tiny" if check else "medium"
+    suite = get_suite("smoke", scale=scale)
     # Explicit repeats/warmup always win (matching the other benches);
     # only the *defaults* shrink in check mode.
     if repeats is None:
@@ -235,7 +414,12 @@ def bench_e2e_suite(
         unit="sims",
         repeats=repeats,
         warmup=warmup,
-        meta={"suite": suite.name, "scenarios": suite.size, "check": check},
+        meta={
+            "suite": suite.name,
+            "scenarios": suite.size,
+            "scale": scale,
+            "check": check,
+        },
     )
 
 
@@ -247,6 +431,8 @@ BENCHMARKS: dict[str, Callable[..., BenchResult]] = {
     "bench_stats": bench_stats,
     "bench_timeline": bench_timeline,
     "bench_cache": bench_cache,
+    "bench_directory": bench_directory,
+    "bench_replicates": bench_replicates,
     "bench_e2e_suite": bench_e2e_suite,
 }
 

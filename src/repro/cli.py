@@ -15,7 +15,9 @@ Commands
                 store, simulate only residual misses, re-render only
                 stale ``figures/*.json``
 ``bench``       hot-path benchmarks with ``BENCH_*.json`` output; with
-                ``--compare BASELINE.json`` a CI regression gate
+                ``--compare [BASELINE.json]`` a CI regression gate
+                (bare ``--compare`` gates against the newest committed
+                ``BENCH_*.json`` session, baseline as fallback)
 ``cache-power`` the Fig. 3 TCC-cache power analysis
 ``exec-status`` inspect (or ``--prune``, optionally ``--older-than`` /
                 ``--label``) a result-cache directory; ``--json`` for
@@ -34,6 +36,9 @@ Execution control (``compare``, ``evaluate``, ``sweep``, ``suite run``)
 ``--store B``      cache backend: ``jsonl``, ``sqlite``, or ``auto``
                    (detect from the cache directory; default)
 ``--no-cache``     ignore ``--cache-dir`` for this invocation
+``--no-packs``     disable replicate packing on the pool path (also
+                   ``REPRO_NO_PACKS=1``); results are bit-identical
+                   with or without packs
 ``--progress``     per-job status lines + batch speed-up on stderr
 ``--obs-dir D``    structured tracing: spans/events + a run manifest
                    under D (``REPRO_OBS=1`` enables it by environment)
@@ -93,6 +98,10 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
     _add_store(parser)
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir for this invocation")
+    parser.add_argument("--no-packs", action="store_true",
+                        help="disable replicate packing on the pool path "
+                             "(one dispatch per job; results are identical "
+                             "either way; REPRO_NO_PACKS=1 by environment)")
     parser.add_argument("--progress", action="store_true",
                         help="per-job status and batch speed-up on stderr")
     _add_obs(parser)
@@ -137,7 +146,8 @@ def _executor(args: argparse.Namespace) -> Executor:
         store = ResultStore(args.cache_dir, backend=args.store)
     progress = ConsoleProgress() if args.progress else None
     return Executor(jobs=args.jobs, store=store, progress=progress,
-                    profile=getattr(args, "profile", False))
+                    profile=getattr(args, "profile", False),
+                    packs=False if getattr(args, "no_packs", False) else None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,11 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--baseline", metavar="PATH",
                          help="earlier bench JSON to compare against; the "
                               "report becomes a before/after comparison")
-    p_bench.add_argument("--compare", metavar="PATH",
+    p_bench.add_argument("--compare", metavar="PATH", nargs="?",
+                         const="auto", default=None,
                          help="regression gate: compare against a committed "
                               "baseline bench JSON and exit non-zero when "
                               "any benchmark regresses more than "
-                              "--max-regression percent")
+                              "--max-regression percent; without PATH, the "
+                              "newest committed BENCH_*.json session "
+                              "matching the run's --check mode is used "
+                              "(BENCH_baseline.json as the fallback)")
     p_bench.add_argument("--max-regression", type=float, default=25.0,
                          metavar="PCT",
                          help="allowed per-benchmark throughput drop for "
@@ -741,12 +755,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     payload = bench_payload(results, label=args.label)
     gate_failures: list[str] = []
-    if args.compare:
+    compare_path = args.compare
+    if compare_path == "auto":
+        from .bench import find_baseline
+
+        found = find_baseline(".", check=args.check)
+        if found is None:
+            print("bench gate: no committed BENCH_*.json session matches "
+                  f"--check={args.check}; nothing to compare against",
+                  file=sys.stderr)
+            return 1
+        compare_path = str(found)
+        print(f"bench gate baseline: {compare_path} (newest committed "
+              f"session)", file=sys.stderr)
+    if compare_path:
         from .bench import regression_failures
 
-        baseline = load_bench_json(args.compare)
+        baseline = load_bench_json(compare_path)
         comparison = compare_payloads(baseline, payload)
-        print(f"gate comparison vs {args.compare}:")
+        print(f"gate comparison vs {compare_path}:")
         for name, factor in sorted(comparison["speedup"].items()):
             print(f"  {name}: {factor:.2f}x vs baseline")
         gate_failures = regression_failures(
@@ -765,11 +792,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"REGRESSION {failure}", file=sys.stderr)
         print(f"bench gate FAILED: {len(gate_failures)} benchmark(s) "
               f"regressed more than {args.max_regression:g}% vs "
-              f"{args.compare}", file=sys.stderr)
+              f"{compare_path}", file=sys.stderr)
         return 1
-    if args.compare:
+    if compare_path:
         print(f"bench gate OK: no benchmark regressed more than "
-              f"{args.max_regression:g}% vs {args.compare}")
+              f"{args.max_regression:g}% vs {compare_path}")
     return 0
 
 

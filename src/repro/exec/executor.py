@@ -15,7 +15,14 @@ submission order, through three stages:
    :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker wires
    its own deterministic engine from the pickled job, so the parallel
    path produces bit-identical numbers to the serial path, and result
-   ordering never depends on completion order.
+   ordering never depends on completion order.  On the pool path, jobs
+   that differ only in their seeds are grouped into *replicate packs*
+   (:mod:`repro.exec.jobs`): one warmed worker process runs the whole
+   seed family back to back instead of paying one dispatch round-trip
+   per job.  Packing never changes results — every member still runs
+   the plain ``execute_job`` path and lands under its own digest — and
+   can be disabled with ``packs=False`` / ``--no-packs`` /
+   ``REPRO_NO_PACKS=1``.
 
 Every ``run`` leaves a :class:`BatchReport` on
 :attr:`Executor.last_report` with per-batch totals and the measured
@@ -46,11 +53,34 @@ from typing import Any, Sequence
 
 from ..errors import ExecutionError
 from ..obs import get_recorder
-from .jobs import ExecResult, RunJob, execute_job
+from .jobs import (
+    ExecResult,
+    PackMemberOutcome,
+    RunJob,
+    execute_job,
+    execute_pack,
+    replicate_key,
+)
 from .progress import ProgressListener
 from .store import ResultStore
 
 __all__ = ["Executor", "BatchReport", "BatchExecutionError", "JobFailure"]
+
+#: environment switch disabling replicate packing (``--no-packs`` on the
+#: CLI); any non-empty value other than ``0``/``false``/``no`` disables
+NO_PACKS_ENV = "REPRO_NO_PACKS"
+
+#: a pack smaller than this is not worth a grouped dispatch
+MIN_PACK_SIZE = 2
+
+#: never split a pack below this size when balancing across workers
+MIN_PACK_SPLIT = 4
+
+
+def packs_enabled_from_env() -> bool:
+    """Replicate packing default: on unless ``REPRO_NO_PACKS`` is set."""
+    value = os.environ.get(NO_PACKS_ENV, "").strip().lower()
+    return value in ("", "0", "false", "no")
 
 #: sim counter namespaces surfaced into job spans — the abort/retry and
 #: clock-gating activity that explains *why* a grid point behaved as it
@@ -75,6 +105,21 @@ def _timed_execute(
     else:
         result, rows = execute_job(job), None
     return result, time.perf_counter() - started, os.getpid(), rows
+
+
+def _timed_execute_pack(
+    jobs: list[RunJob], profile: bool = False
+) -> tuple[list[PackMemberOutcome], float, int]:
+    """Pool entry point for a replicate pack: one dispatch, N jobs.
+
+    Returns ``(per-member outcomes, pack wall seconds, worker pid)``;
+    member failures are already folded into their outcomes (see
+    :func:`repro.exec.jobs.execute_pack`), so this call only raises on
+    infrastructure-level breakage.
+    """
+    started = time.perf_counter()
+    outcomes = execute_pack(jobs, profile)
+    return outcomes, time.perf_counter() - started, os.getpid()
 
 
 def _span_counters(result: ExecResult) -> dict[str, float]:
@@ -185,6 +230,15 @@ class Executor:
         spots into the observability run manifest.  Meaningful only
         with observability enabled; adds real overhead, so it is strictly
         opt-in.
+    packs:
+        Group pool-path jobs that differ only in their seeds into
+        :class:`~repro.exec.jobs.ReplicatePack` dispatch units — one
+        warmed worker process serves a whole seed family instead of one
+        pool round-trip per job.  Results, store records and digests
+        are bit-identical either way (each member still runs the plain
+        ``execute_job`` path).  ``None`` (default) resolves from the
+        ``REPRO_NO_PACKS`` environment switch; the serial path never
+        packs (there is nothing to amortize in-process).
     """
 
     def __init__(
@@ -194,6 +248,7 @@ class Executor:
         progress: ProgressListener | None = None,
         refresh: bool = False,
         profile: bool = False,
+        packs: bool | None = None,
     ):
         if jobs < 0:
             raise ExecutionError(f"worker count cannot be negative: {jobs}")
@@ -204,6 +259,7 @@ class Executor:
         self.progress = progress if progress is not None else ProgressListener()
         self.refresh = refresh
         self.profile = profile
+        self.packs = packs_enabled_from_env() if packs is None else packs
         self.last_report: BatchReport | None = None
 
     # ------------------------------------------------------------------
@@ -331,6 +387,17 @@ class Executor:
                 cached=False,
                 counters=_span_counters(result),
             )
+            # run-level flush-batch tally: how many batched commit
+            # flushes the directories serviced across every executed
+            # job (the per-flush line distribution lives sim-side in
+            # the ``dir.lines_per_flush`` histogram)
+            flushes = sum(
+                value
+                for name, value in result.counters.items()
+                if name.startswith("dir") and name.endswith(".flushes")
+            )
+            if flushes:
+                recorder.count("dir.flush_batches", flushes)
         if profile_rows is not None:
             recorder.add_profile(profile_rows)
 
@@ -390,6 +457,88 @@ class Executor:
             self.progress.job_finished(done, len(pending), job, seconds)
         return run_seconds
 
+    def _dispatch_units(
+        self, pending: list[tuple[str, RunJob]], workers: int
+    ) -> list[list[tuple[str, RunJob]]]:
+        """Group pending jobs into pool dispatch units.
+
+        With packing on, jobs sharing a :func:`replicate_key` (same
+        spec, different seeds) form one unit; everything else stays a
+        singleton.  Oversized packs are split while fewer units than
+        workers exist, so a batch that is one big seed family still
+        fans across the whole pool.  Grouping is deterministic in
+        submission order — it only changes *where* jobs run, never what
+        any of them computes.
+        """
+        if not self.packs:
+            return [[entry] for entry in pending]
+        groups: dict[str, list[tuple[str, RunJob]]] = {}
+        order: list[str] = []
+        for digest, job in pending:
+            key = replicate_key(job)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((digest, job))
+        units = [groups[key] for key in order]
+        # keep every worker busy: halve the largest splittable pack
+        # until there are enough units (or nothing left worth splitting)
+        while len(units) < workers:
+            largest = max(units, key=len)
+            if len(largest) < MIN_PACK_SPLIT:
+                break
+            at = units.index(largest)
+            half = len(largest) // 2
+            units[at:at + 1] = [largest[:half], largest[half:]]
+        return units
+
+    def _land_pack(
+        self,
+        unit: list[tuple[str, RunJob]],
+        outcomes: list[PackMemberOutcome],
+        pack_seconds: float,
+        pid: int,
+        results: dict[str, ExecResult],
+        recorder: Any,
+        failures: list[JobFailure],
+        progress_state: list[int],
+        pending_total: int,
+    ) -> float:
+        """Land every member of one finished pack; returns run seconds."""
+        run_seconds = 0.0
+        for (digest, job), outcome in zip(unit, outcomes):
+            if outcome.result is None:
+                failures.append(
+                    JobFailure(
+                        digest=digest,
+                        label=job.label(),
+                        workload=job.spec.name,
+                        error=outcome.error or "unknown pack member failure",
+                        traceback=outcome.traceback or "",
+                    )
+                )
+                continue
+            self._record(
+                digest, job, outcome.result, results, recorder,
+                outcome.seconds, pid, outcome.profile_rows,
+            )
+            run_seconds += outcome.seconds
+            progress_state[0] += 1
+            self.progress.job_finished(
+                progress_state[0], pending_total, job, outcome.seconds
+            )
+        if recorder.enabled:
+            recorder.complete_span(
+                "pack",
+                pack_seconds,
+                replicates=len(unit),
+                label=unit[0][1].label(),
+                workload=unit[0][1].spec.name,
+                worker_pid=pid,
+                failed=sum(1 for o in outcomes if o.result is None),
+            )
+        return run_seconds
+
     def _run_pool(
         self,
         pending: list[tuple[str, RunJob]],
@@ -398,12 +547,22 @@ class Executor:
         recorder: Any,
     ) -> float:
         run_seconds = 0.0
-        done = 0
+        progress_state = [0]  # mutable done-counter shared with pack landing
+        units = self._dispatch_units(pending, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_timed_execute, job, self.profile): (digest, job)
-                for digest, job in pending
-            }
+            futures = {}
+            for unit in units:
+                if len(unit) >= MIN_PACK_SIZE:
+                    future = pool.submit(
+                        _timed_execute_pack,
+                        [job for _digest, job in unit],
+                        self.profile,
+                    )
+                else:
+                    future = pool.submit(
+                        _timed_execute, unit[0][1], self.profile
+                    )
+                futures[future] = unit
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(
@@ -415,29 +574,45 @@ class Executor:
                 failures: list[JobFailure] = []
                 first_exc: Exception | None = None
                 for future in finished:
-                    digest, job = futures[future]
+                    unit = futures[future]
                     try:
-                        result, seconds, pid, rows = future.result()
+                        payload = future.result()
                     except Exception as exc:
+                        # infrastructure failure (e.g. a broken pool):
+                        # every job in the unit went down with it
                         if first_exc is None:
                             first_exc = exc
-                        failures.append(
-                            JobFailure(
-                                digest=digest,
-                                label=job.label(),
-                                workload=job.spec.name,
-                                error=str(exc),
-                                traceback="".join(_tb.format_exception(exc)),
+                        for digest, job in unit:
+                            failures.append(
+                                JobFailure(
+                                    digest=digest,
+                                    label=job.label(),
+                                    workload=job.spec.name,
+                                    error=str(exc),
+                                    traceback="".join(
+                                        _tb.format_exception(exc)
+                                    ),
+                                )
                             )
-                        )
                         continue
-                    self._record(
-                        digest, job, result, results, recorder, seconds,
-                        pid, rows,
-                    )
-                    run_seconds += seconds
-                    done += 1
-                    self.progress.job_finished(done, len(pending), job, seconds)
+                    if len(unit) >= MIN_PACK_SIZE:
+                        outcomes, pack_seconds, pid = payload
+                        run_seconds += self._land_pack(
+                            unit, outcomes, pack_seconds, pid, results,
+                            recorder, failures, progress_state, len(pending),
+                        )
+                    else:
+                        digest, job = unit[0]
+                        result, seconds, pid, rows = payload
+                        self._record(
+                            digest, job, result, results, recorder, seconds,
+                            pid, rows,
+                        )
+                        run_seconds += seconds
+                        progress_state[0] += 1
+                        self.progress.job_finished(
+                            progress_state[0], len(pending), job, seconds
+                        )
                 if failures:
                     for other in remaining:
                         other.cancel()

@@ -24,15 +24,30 @@ sweep point.
 (parallel time, energy breakdown, counters) without the raw timelines
 and memory snapshot, so it pickles cheaply across workers and
 round-trips exactly through JSON (see :mod:`repro.exec.serialize`).
+
+Replicate packs
+---------------
+Seed replicates of one scenario — jobs identical except for the seed
+fields — are the common bulk shape of statistical runs.
+:func:`replicate_key` is the grouping digest (the job payload with
+both seed slots zeroed) and :class:`ReplicatePack` +
+:func:`execute_pack` are the worker-side shape: all members of a seed
+family execute sequentially inside ONE worker process (warm
+interpreter, warm import graph, one pool round-trip), while each
+member still produces its own independently digest-keyed
+:class:`ExecResult` — the store, dedup, sharding and planning layers
+never see packs at all.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import time
+import traceback
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config import SystemConfig
 from ..metrics import TxMetricsMixin
@@ -43,7 +58,16 @@ from .serialize import canonical_json
 if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
     from ..harness.runner import RunResult, WorkloadSpec
 
-__all__ = ["SCHEMA_VERSION", "RunJob", "ExecResult", "execute_job"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunJob",
+    "ExecResult",
+    "execute_job",
+    "replicate_key",
+    "ReplicatePack",
+    "PackMemberOutcome",
+    "execute_pack",
+]
 
 #: Bump whenever job semantics or the result encoding change in a way
 #: that invalidates previously cached results; the store skips records
@@ -162,3 +186,101 @@ def execute_job(job: RunJob) -> ExecResult:
         job.spec, job.config, power_model=job.power, validate=job.validate
     )
     return ExecResult.from_run_result(result, job.power)
+
+
+# ----------------------------------------------------------------------
+# replicate packs
+# ----------------------------------------------------------------------
+def replicate_key(job: RunJob) -> str:
+    """The seed-family grouping digest of a job.
+
+    The job's canonical payload with both seed slots — the workload
+    seed and ``config.seed`` — zeroed out, hashed like the job digest.
+    Jobs that differ *only* in their seeds share a replicate key; any
+    other difference (workload, scale, overrides, gating, power model)
+    keeps them apart, so packing by this key can never co-schedule
+    jobs that are not seed replicates of one another.
+    """
+    payload = job.payload()
+    payload["workload"]["seed"] = 0
+    payload["config"]["seed"] = 0
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplicatePack:
+    """All pending seed replicates of one spec, as one dispatch unit."""
+
+    members: tuple[RunJob, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a replicate pack needs at least one member")
+
+    @cached_property
+    def key(self) -> str:
+        """The shared :func:`replicate_key` of every member."""
+        return replicate_key(self.members[0])
+
+    def label(self) -> str:
+        first = self.members[0]
+        return f"{first.label()} pack of {len(self.members)} seed(s)"
+
+
+@dataclass(frozen=True)
+class PackMemberOutcome:
+    """One member's result (or failure) from a pack execution.
+
+    Exactly one of ``result`` and ``error`` is set; a member failure
+    never discards its siblings' finished work — the executor lands
+    every success in the pack before surfacing the failures.
+    """
+
+    result: ExecResult | None
+    seconds: float
+    error: str | None = None
+    traceback: str | None = None
+    profile_rows: list[tuple[str, int, float, float]] | None = None
+
+
+def execute_pack(
+    jobs: Sequence[RunJob], profile: bool = False
+) -> list[PackMemberOutcome]:
+    """Worker entry point: run a seed family sequentially in one process.
+
+    Each member runs through the exact same :func:`execute_job` path a
+    standalone dispatch uses — same fresh engine, same seeds travelling
+    inside the job — so pack results are bit-identical to per-process
+    results by construction; the pack only amortizes process/dispatch
+    overhead and keeps caches warm across the family.  Per-member
+    exceptions are caught so one bad seed cannot take down the rest of
+    the family.
+    """
+    outcomes: list[PackMemberOutcome] = []
+    for job in jobs:
+        started = time.perf_counter()
+        try:
+            if profile:
+                from ..obs.profile import profile_call
+
+                result, rows = profile_call(execute_job, job)
+            else:
+                result, rows = execute_job(job), None
+        except Exception as exc:
+            outcomes.append(
+                PackMemberOutcome(
+                    result=None,
+                    seconds=time.perf_counter() - started,
+                    error=str(exc),
+                    traceback="".join(traceback.format_exception(exc)),
+                )
+            )
+        else:
+            outcomes.append(
+                PackMemberOutcome(
+                    result=result,
+                    seconds=time.perf_counter() - started,
+                    profile_rows=rows,
+                )
+            )
+    return outcomes

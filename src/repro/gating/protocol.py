@@ -64,7 +64,9 @@ class GatingUnit:
         self._config = config
         self._stats = stats
         self._trace = trace
+        self._trace_on = trace.enabled
         self.table = GatingTable(config.num_procs)
+        self._entries = self.table.entries
         self._prefix = f"dir{directory.dir_id}.gating"
         self._c_aborts_recorded = stats.counter(
             f"{self._prefix}.aborts_recorded"
@@ -110,14 +112,15 @@ class GatingUnit:
         self._arm_timer(entry)
 
         self._c_aborts_recorded.add()
-        self._trace.emit(
-            now,
-            "gate.record",
-            directory=self._dir.dir_id,
-            victim=victim,
-            aborter=aborter,
-            abort_count=entry.abort_count,
-        )
+        if self._trace_on:
+            self._trace.emit(
+                now,
+                "gate.record",
+                directory=self._dir.dir_id,
+                victim=victim,
+                aborter=aborter,
+                abort_count=entry.abort_count,
+            )
         return send_stop
 
     def _arm_timer(self, entry: GatingEntry) -> None:
@@ -189,27 +192,29 @@ class GatingUnit:
         entry.renew_count += 1
         self._c_renewals.add()
         self._c_renewals_global.add()
-        self._trace.emit(
-            self._m.engine.now,
-            "gate.renew",
-            directory=self._dir.dir_id,
-            victim=entry.proc,
-            abort_count=entry.abort_count,
-            renew_count=entry.renew_count,
-        )
+        if self._trace_on:
+            self._trace.emit(
+                self._m.engine.now,
+                "gate.renew",
+                directory=self._dir.dir_id,
+                victim=entry.proc,
+                abort_count=entry.abort_count,
+                renew_count=entry.renew_count,
+            )
         self._arm_timer(entry)
 
     def _send_on(self, entry: GatingEntry, reason: str) -> None:
         entry.off = False
         entry.cancel_timer()
         self._c_turn_ons.add()
-        self._trace.emit(
-            self._m.engine.now,
-            "gate.turn_on",
-            directory=self._dir.dir_id,
-            victim=entry.proc,
-            reason=reason,
-        )
+        if self._trace_on:
+            self._trace.emit(
+                self._m.engine.now,
+                "gate.turn_on",
+                directory=self._dir.dir_id,
+                victim=entry.proc,
+                reason=reason,
+            )
         proc = self._m.proc(entry.proc)
         self._m.bus.send_ctrl(
             proc.receive_turn_on, TurnOn(entry.proc, self._dir.dir_id)
@@ -227,7 +232,7 @@ class GatingUnit:
         that were in flight when the Stop-Clock landed prove nothing
         and must not cancel the wake-up timer (deadlock otherwise).
         """
-        entry = self.table.entry(proc)
+        entry = self._entries[proc]
         if entry.off and sent_at > entry.gated_at:
             # Paper: "it resets the OFF bit as well in its local table."
             # Only the bit — the timer chain keeps running and delivers
@@ -235,12 +240,13 @@ class GatingUnit:
             # load-bearing for deadlock freedom).
             entry.off = False
             self._c_stale_off_cleared.add()
-            self._trace.emit(
-                self._m.engine.now,
-                "gate.stale_off",
-                directory=self._dir.dir_id,
-                proc=proc,
-            )
+            if self._trace_on:
+                self._trace.emit(
+                    self._m.engine.now,
+                    "gate.stale_off",
+                    directory=self._dir.dir_id,
+                    proc=proc,
+                )
 
     # ------------------------------------------------------------------
     def notify_commit(self, proc: int) -> None:

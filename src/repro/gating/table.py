@@ -36,7 +36,7 @@ from ..sim.engine import Event
 __all__ = ["GatingEntry", "GatingTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class GatingEntry:
     """Per-(directory, processor) gating state."""
 
@@ -82,7 +82,11 @@ class GatingTable:
     """All per-processor entries of one directory."""
 
     def __init__(self, num_procs: int):
-        self._entries = [GatingEntry(p) for p in range(num_procs)]
+        #: public for the protocol layer's hot path: ``notify_access``
+        #: runs once per request arrival at a gated-config directory,
+        #: and indexing this list directly beats an ``entry()`` call.
+        self.entries = [GatingEntry(p) for p in range(num_procs)]
+        self._entries = self.entries
 
     def entry(self, proc: int) -> GatingEntry:
         return self._entries[proc]

@@ -122,6 +122,9 @@ class Machine:
         self.engine = Engine()
         self.stats = StatsRegistry()
         self.trace = trace if trace is not None else NullTrace()
+        # A disabled trace must cost nothing on machine-level paths
+        # (barriers, thread completion) — same guard the processors use.
+        self._trace_on = self.trace.enabled
         self.addr_map = AddressMap(
             line_bytes=config.cache.line_bytes,
             num_dirs=config.effective_num_dirs,
@@ -169,6 +172,7 @@ class Machine:
 
         self._c_stale_grants = self.stats.counter("vendor.stale_grants")
         self._c_txinfo_requests = self.stats.counter("gating.txinfo_requests")
+        self._vendor_latency = config.commit.token_vendor_latency
 
         self._programs = list(programs)
         self._program_params = dict(program_params or {})
@@ -198,24 +202,27 @@ class Machine:
     # global services
     # ------------------------------------------------------------------
     def request_tid(self, proc: Processor, epoch: int) -> None:
-        """Token request: bus to the vendor, vendor latency, bus back."""
+        """Token request: bus to the vendor, vendor latency, bus back.
 
-        def at_vendor() -> None:
-            self.engine.schedule(
-                self.config.commit.token_vendor_latency, grant
-            )
+        The three hops are plain methods taking ``(proc, epoch)`` as
+        event args rather than nested closures: every commit walks this
+        chain, and closure/cell construction was measurable there.  The
+        send/schedule sequence (and hence event ordering) is unchanged.
+        """
+        self.bus.send_ctrl(self._tid_at_vendor, proc, epoch)
 
-        def grant() -> None:
-            tid = self.vendor.issue(proc.proc_id)
-            self.bus.send_ctrl(deliver, tid)
+    def _tid_at_vendor(self, proc: Processor, epoch: int) -> None:
+        self.engine.schedule(self._vendor_latency, self._tid_grant, proc, epoch)
 
-        def deliver(tid: int) -> None:
-            if not proc.accept_tid(epoch, tid):
-                # Processor aborted while the grant was in flight.
-                self.vendor.release(tid)
-                self._c_stale_grants.add()
+    def _tid_grant(self, proc: Processor, epoch: int) -> None:
+        tid = self.vendor.issue(proc.proc_id)
+        self.bus.send_ctrl(self._tid_deliver, proc, epoch, tid)
 
-        self.bus.send_ctrl(at_vendor)
+    def _tid_deliver(self, proc: Processor, epoch: int, tid: int) -> None:
+        if not proc.accept_tid(epoch, tid):
+            # Processor aborted while the grant was in flight.
+            self.vendor.release(tid)
+            self._c_stale_grants.add()
 
     def query_tx_site(self, target: int, cont: Callable[[str | None], None]) -> None:
         """TxInfoReq/Reply round-trip over the bus.
@@ -238,13 +245,17 @@ class Machine:
     ) -> None:
         state = self._barriers.setdefault(name, _BarrierState())
         state.waiters.append((proc_id, cont))
-        self.trace.emit(self.engine.now, "barrier.arrive", name=name, proc=proc_id)
+        if self._trace_on:
+            self.trace.emit(
+                self.engine.now, "barrier.arrive", name=name, proc=proc_id
+            )
         if len(state.waiters) == self.config.num_procs:
             waiters = state.waiters
             state.waiters = []
             for _, waiter_cont in waiters:
                 self.engine.schedule(1, waiter_cont, None)
-            self.trace.emit(self.engine.now, "barrier.release", name=name)
+            if self._trace_on:
+                self.trace.emit(self.engine.now, "barrier.release", name=name)
 
     # -- parallel-section window ------------------------------------------
     def note_first_tx(self, time: int) -> None:
@@ -275,7 +286,8 @@ class Machine:
 
     def proc_finished(self, proc_id: int) -> None:
         self._finished += 1
-        self.trace.emit(self.engine.now, "proc.finished", proc=proc_id)
+        if self._trace_on:
+            self.trace.emit(self.engine.now, "proc.finished", proc=proc_id)
         if self._raise_on_complete and self._finished >= self.config.num_procs:
             raise _AllThreadsFinished
 

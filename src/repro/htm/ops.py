@@ -10,7 +10,13 @@ behaviour*, not an ISA.  Straight-line computation between memory
 references is abstracted as ``Compute(cycles)``, the standard
 trace/intent-driven simulation idiom (one event instead of one event
 per instruction keeps 16-core runs tractable in CPython; see the
-optimization guide's "algorithmic optimization first").
+optimization guide's "algorithmic optimization first").  The intent
+classes are slotted but not frozen: workload bodies construct one per
+yield, so they sit on the dispatch hot path alongside the protocol
+messages, and frozen-dataclass construction (``object.__setattr__``
+per field) was a measured cost there.  They are immutable by
+convention — programs hand them to the processor and never touch them
+again.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ class Op:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Load(Op):
     """Read the 8-byte word at byte address ``addr``; yields the value.
 
@@ -42,7 +48,7 @@ class Load(Op):
     addr: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Store(Op):
     """Write ``value`` to the word at ``addr``.
 
@@ -56,7 +62,7 @@ class Store(Op):
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Compute(Op):
     """Spend ``cycles`` of pure computation (no memory traffic)."""
 
@@ -67,7 +73,7 @@ class Compute(Op):
             raise WorkloadError(f"negative compute time: {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TxOp(Op):
     """Run ``body`` as one atomic transaction; yields ``tx.result``.
 
@@ -93,7 +99,7 @@ class TxOp(Op):
             raise WorkloadError("transaction site id must be non-empty")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class BarrierOp(Op):
     """Block until every thread has reached the barrier named ``name``.
 

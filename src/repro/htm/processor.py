@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Any, Generator
 from ..errors import ProtocolError, WorkloadError
 from ..mem.messages import FillReply, FillRequest, FlushDone, FlushRequest, Invalidation, TurnOn
 from ..power.states import ProcState
-from ..sim.rng import derive_seed
+from ..sim.rng import derive_seed_from, seed_prefix
 from .ops import BarrierOp, Compute, Load, Op, Store, TxOp
 from .program import ThreadContext, ThreadProgram
 from .transaction import TxHandle, TxState, TxStatus
@@ -71,15 +71,18 @@ class Processor:
         self.timeline = machine.timeline(proc_id)
 
         self._program_gen: Generator | None = None
+        self._program_send = None  # bound .send of the program generator
         self._ctx: ThreadContext | None = None
 
         # transactional state
         self._txop: TxOp | None = None
         self._tx: TxState | None = None
         self._tx_gen: Generator | None = None
+        self._tx_send = None  # bound .send of the live attempt's generator
         self._tx_index = -1
         self._tx_seed_index = -1
         self._tx_seed = 0
+        self._tx_seed_prefix = seed_prefix(machine.config.seed, "tx", proc_id)
         self._attempt = 0
         self._tx_first_start = 0
         self._commit_start = 0
@@ -107,6 +110,36 @@ class Processor:
         stats = machine.stats
         prefix = self._prefix
         self._hit_latency = machine.config.cache.hit_latency
+        # Bound-method fast paths: the per-op dispatch loop goes through
+        # these thousands of times per run, so the two-level attribute
+        # chains (engine/bus/map/cache lookups) are resolved once here.
+        self._schedule = self._engine.schedule
+        self._check_word_addr = machine.addr_map.check_word_addr
+        self._line_of = machine.addr_map.line_of
+        self._home_of_line = machine.addr_map.home_of_line
+        self._lines_by_home = machine.addr_map.lines_by_home
+        # Constants for the inlined per-access address math (the checked
+        # slow path _check_word_addr re-raises with the full message).
+        self._mem_bytes = machine.addr_map.memory_bytes
+        self._line_bytes = machine.addr_map.line_bytes
+        self._num_dirs = machine.addr_map.num_dirs
+        self._dirs = machine.dirs
+        self._read_word = machine.memory.read_word
+        self._send_ctrl = machine.bus.send_ctrl
+        self._send_data = machine.bus.send_data
+        self._dir_of = machine.dir
+        self._tl_set_state = self.timeline.set_state
+        # Mirror of the timeline's current state: set_state with an
+        # unchanged state is a recorded no-op, so _set_state can skip
+        # the call entirely — most ops run RUN → RUN.  Must start as
+        # the timeline's initial state (ProcState.RUN).
+        self._cur_state = ProcState.RUN
+        self._cache_touch = self.cache.touch
+        self._cache_fill = self.cache.fill
+        #: footprint of the in-flight commit, computed once at TID
+        #: accept (it cannot grow while COMMITTING) and shared by the
+        #: involved-directory pass and the finalize cleanup
+        self._commit_footprint: set[int] | None = None
         # Tracing is decided per run; a disabled trace must cost
         # nothing, not even the kwargs dict an emit() call builds.
         self._trace_on = self._trace.enabled
@@ -140,10 +173,13 @@ class Processor:
         """Bind and launch the thread program at the current cycle."""
         self._ctx = ctx
         self._program_gen = program.generate(ctx)
+        self._program_send = self._program_gen.send
         self._engine.schedule(0, self._advance_program, None)
 
     def _set_state(self, state: ProcState) -> None:
-        self.timeline.set_state(self._engine.now, state)
+        if state is not self._cur_state:
+            self._cur_state = state
+            self._tl_set_state(self._engine.now, state)
 
     def _finish_program(self) -> None:
         # A finished thread spins at the final synchronization point at
@@ -157,7 +193,7 @@ class Processor:
     # ------------------------------------------------------------------
     def _advance_program(self, value: Any) -> None:
         try:
-            op = self._program_gen.send(value)
+            op = self._program_send(value)
         except StopIteration:
             self._finish_program()
             return
@@ -168,7 +204,7 @@ class Processor:
             self._begin_tx(op)
         elif isinstance(op, Compute):
             self._set_state(ProcState.RUN)
-            self._engine.schedule(op.cycles, self._advance_program, None)
+            self._schedule(op.cycles, self._advance_program, None)
         elif isinstance(op, Load):
             self._plain_load(op)
         elif isinstance(op, Store):
@@ -181,35 +217,35 @@ class Processor:
 
     # -- non-transactional accesses (setup / thread-private data) ------
     def _plain_load(self, op: Load) -> None:
-        addr = self._addr_map.check_word_addr(op.addr)
-        line = self._addr_map.line_of(addr)
-        entry = self.cache.touch(line)
+        addr = op.addr
+        if addr < 0 or addr + 8 > self._mem_bytes or addr & 7:
+            self._check_word_addr(addr)  # raises the detailed error
+        line = addr // self._line_bytes
+        entry = self._cache_touch(line)
         if entry is not None and not entry.partial:
-            self._c_cache_hits.add()
-            self._engine.schedule(
-                self._hit_latency, self._plain_load_done, addr
-            )
+            self._c_cache_hits.value += 1
+            self._schedule(self._hit_latency, self._plain_load_done, addr)
         else:
-            self._c_cache_misses.add()
+            self._c_cache_misses.value += 1
             self._set_state(ProcState.MISS)
             self._send_fill(line, addr, in_tx=False)
 
     def _plain_load_done(self, addr: int) -> None:
-        value = self._memory.read_word(addr)
+        value = self._read_word(addr)
         self._set_state(ProcState.RUN)
         self._advance_program(value)
 
     def _plain_store(self, op: Store) -> None:
-        addr = self._addr_map.check_word_addr(op.addr)
+        addr = op.addr
+        if addr < 0 or addr + 8 > self._mem_bytes or addr & 7:
+            self._check_word_addr(addr)
         # Non-transactional stores bypass coherence: they are only legal
         # for thread-private data (documented restriction), so the write
         # is applied functionally and cached locally.
         self._memory.write_word(addr, op.value, writer_tid=-1)
-        self.cache.fill(self._addr_map.line_of(addr), partial=True)
+        self._cache_fill(addr // self._line_bytes, partial=True)
         self._set_state(ProcState.RUN)
-        self._engine.schedule(
-            self._hit_latency, self._advance_program, None
-        )
+        self._schedule(self._hit_latency, self._advance_program, None)
 
     # ------------------------------------------------------------------
     # transactional execution
@@ -226,12 +262,13 @@ class Processor:
         # The derived seed depends only on (config.seed, proc, tx_index),
         # so retries of the same transaction reuse it.  The TxHandle
         # builds a *fresh* generator from it on first use per attempt,
-        # so every attempt sees an identical stream.
+        # so every attempt sees an identical stream.  The FNV prefix
+        # over (seed, "tx", proc) is hashed once (constructor); only
+        # the tx_index suffix is folded per transaction — identical
+        # output to derive_seed(seed, "tx", proc, tx_index).
         if self._tx_seed_index != self._tx_index:
             self._tx_seed_index = self._tx_index
-            self._tx_seed = derive_seed(
-                self._m.config.seed, "tx", self.proc_id, self._tx_index
-            )
+            self._tx_seed = derive_seed_from(self._tx_seed_prefix, self._tx_index)
         return self._tx_seed
 
     def _start_attempt(self) -> None:
@@ -273,7 +310,8 @@ class Processor:
                 f"generator (got {type(gen).__name__})"
             )
         self._tx_gen = gen
-        self._c_tx_attempts.add()
+        self._tx_send = gen.send
+        self._c_tx_attempts.value += 1
         if self._trace_on:
             self._trace.emit(
                 self._engine.now,
@@ -287,7 +325,7 @@ class Processor:
 
     def _advance_tx(self, value: Any) -> None:
         try:
-            op = self._tx_gen.send(value)
+            op = self._tx_send(value)
         except StopIteration:
             self._begin_commit()
             return
@@ -297,7 +335,7 @@ class Processor:
             self._tx_store(op)
         elif isinstance(op, Compute):
             self._set_state(ProcState.RUN)
-            self._engine.schedule(op.cycles, self._tx_cont, self._epoch)
+            self._schedule(op.cycles, self._tx_cont, self._epoch)
         elif isinstance(op, (TxOp, BarrierOp)):
             raise WorkloadError(
                 f"{type(op).__name__} is not allowed inside a transaction "
@@ -313,40 +351,42 @@ class Processor:
 
     # -- transactional loads -------------------------------------------
     def _tx_load(self, op: Load) -> None:
-        addr = self._addr_map.check_word_addr(op.addr)
+        addr = op.addr
+        if addr < 0 or addr + 8 > self._mem_bytes or addr & 7:
+            self._check_word_addr(addr)
         tx = self._tx
-        forwarded = tx.forwarded_value(addr)
+        forwarded = tx.writes.get(addr)  # store-to-load forwarding
         hit_latency = self._hit_latency
         if forwarded is not None:
             # Reading our own buffered store: no read-set registration,
             # no conflict exposure.
-            self._engine.schedule(
+            self._schedule(
                 hit_latency, self._tx_forwarded_done, self._epoch, forwarded
             )
             return
 
-        line = self._addr_map.line_of(addr)
+        line = addr // self._line_bytes
         # Register at issue time: an invalidation arriving between issue
         # and data return must abort this attempt (fill/flush race).
         tx.read_lines.add(line)
-        entry = self.cache.touch(line)
+        entry = self._cache_touch(line)
         # A partial (store-allocated) line cannot serve loads of words
         # the transaction did not write: the data was never fetched and
         # the processor is not registered as a sharer (the fuzzer found
         # the resulting stale-read serializability hole).
         if entry is not None and not entry.partial:
-            self.cache.mark_spec_read(line)
-            self._c_cache_hits.add()
-            self._engine.schedule(hit_latency, self._tx_load_done, self._epoch, addr)
+            entry.spec_read = True
+            self._c_cache_hits.value += 1
+            self._schedule(hit_latency, self._tx_load_done, self._epoch, addr)
         else:
-            self._c_cache_misses.add()
+            self._c_cache_misses.value += 1
             self._set_state(ProcState.MISS)
             self._send_fill(line, addr, in_tx=True)
 
     def _tx_load_done(self, epoch: int, addr: int) -> None:
         if epoch != self._epoch:
             return
-        value = self._memory.read_word(addr)
+        value = self._read_word(addr)
         tx = self._tx
         if tx.read_log is not None:
             tx.read_log.append((addr, value))
@@ -361,8 +401,8 @@ class Processor:
         """Issue a fill request for an L1 miss (one outstanding at most)."""
         self._fill_seq += 1
         self._awaiting_fill = (line, addr, self._epoch, in_tx, self._fill_seq)
-        home = self._m.dir(self._addr_map.home_of_line(line))
-        self._bus.send_ctrl(
+        home = self._dirs[line % self._num_dirs]
+        self._send_ctrl(
             home.receive_fill_request,
             FillRequest(self.proc_id, line, self._engine.now, self._fill_seq),
         )
@@ -386,7 +426,7 @@ class Processor:
             return
         line, addr, epoch, in_tx, _req_id = pending
         self._awaiting_fill = None
-        self.cache.fill(line)
+        self._cache_fill(line)
         self._set_state(ProcState.RUN)
         # The consuming load still pays the load-to-use latency after
         # the fill returns (data forwarding into the pipeline).
@@ -394,21 +434,23 @@ class Processor:
         if in_tx:
             if self._tx is not None and line in self._tx.read_lines:
                 self.cache.mark_spec_read(line)
-            self._engine.schedule(hit_latency, self._tx_load_done, epoch, addr)
+            self._schedule(hit_latency, self._tx_load_done, epoch, addr)
         else:
-            self._engine.schedule(hit_latency, self._plain_load_done, addr)
+            self._schedule(hit_latency, self._plain_load_done, addr)
 
     # -- transactional stores --------------------------------------------
     def _tx_store(self, op: Store) -> None:
-        addr = self._addr_map.check_word_addr(op.addr)
-        line = self._addr_map.line_of(addr)
+        addr = op.addr
+        if addr < 0 or addr + 8 > self._mem_bytes or addr & 7:
+            self._check_word_addr(addr)
+        line = addr // self._line_bytes
         self._tx.buffer_store(addr, op.value, line)
         # Write-allocate into the store buffer: the line is installed
         # locally without any directory traffic (hence *partial* — it
         # holds only the written words); data merges at commit.
-        self.cache.fill(line, partial=True)
+        self._cache_fill(line, partial=True)
         self.cache.mark_spec_written(line)
-        self._engine.schedule(self._hit_latency, self._tx_cont, self._epoch)
+        self._schedule(self._hit_latency, self._tx_cont, self._epoch)
 
     # ------------------------------------------------------------------
     # commit protocol (processor side)
@@ -418,7 +460,7 @@ class Processor:
         tx.status = TxStatus.COMMITTING
         self._commit_start = self._engine.now
         self._set_state(ProcState.COMMIT)
-        self._c_tx_commit_attempts.add()
+        self._c_tx_commit_attempts.value += 1
         if self._trace_on:
             self._trace.emit(
                 self._engine.now, "tx.commit_request", proc=self.proc_id,
@@ -432,19 +474,18 @@ class Processor:
             return False
         tx = self._tx
         tx.tid = tid
-        # The footprint cannot grow once the tx is COMMITTING, so the
-        # involved-directory set is computed once and reused by the
-        # finalize (and abort-while-spinning) unmark pass.
-        self._commit_dirs = self._involved_dirs(tx)
+        # The footprint cannot grow once the tx is COMMITTING, so it and
+        # the involved-directory set are computed once here and reused
+        # by the finalize (and abort-while-spinning) unmark pass.
+        footprint = tx.read_lines | tx.write_lines
+        self._commit_footprint = footprint
+        home_of = self._home_of_line
+        self._commit_dirs = sorted({home_of(line) for line in footprint})
+        dirs = self._dirs
         for dir_id in self._commit_dirs:
-            self._m.dir(dir_id).mark_commit(self.proc_id)
-        self._vendor.wait_for_turn(tid, lambda: self._commit_go(epoch, tid))
+            dirs[dir_id].mark_commit(self.proc_id)
+        self._vendor.wait_for_turn(tid, self._commit_go, epoch, tid)
         return True
-
-    def _involved_dirs(self, tx: TxState) -> list[int]:
-        return sorted(
-            {self._addr_map.home_of_line(line) for line in tx.footprint_lines}
-        )
 
     def _commit_go(self, epoch: int, tid: int) -> None:
         """Completion-barrier release: all older TIDs have finished."""
@@ -453,24 +494,42 @@ class Processor:
         tx = self._tx
         if tx is None or tx.tid != tid:  # pragma: no cover - defensive
             raise ProtocolError(f"commit-go for unknown TID {tid}")
-        groups = self._addr_map.lines_by_home(tx.write_lines)
+        groups = self._lines_by_home(tx.write_lines)
         if not groups:
             self._commit_finalize()
             return
         tx.flush_acks_pending = len(groups)
-        line_of = self._addr_map.line_of
+        now = self._engine.now
+        send_data = self._send_data
         all_writes = sorted(tx.writes.items())  # once, not per directory
-        for dir_id, lines in sorted(groups.items()):
-            line_set = set(lines)
-            writes = tuple(
-                (addr, value)
-                for addr, value in all_writes
-                if line_of(addr) in line_set
-            )
+        if len(groups) == 1:
+            # Single homed directory (every commit on a 1-directory
+            # machine, and most small transactions): the whole sorted
+            # store buffer is that directory's flush body.
+            dir_id, lines = next(iter(groups.items()))
             req = FlushRequest(
-                self.proc_id, tid, tuple(lines), writes, self._engine.now, tx.site
+                self.proc_id, tid, tuple(lines), tuple(all_writes), now, tx.site
             )
-            self._bus.send_data(self._m.dir(dir_id).receive_flush_request, req)
+            send_data(self._dirs[dir_id].receive_flush_request, req)
+            return
+        # Multi-directory commit: partition the sorted store buffer in
+        # one pass (order within each directory stays address-sorted),
+        # instead of re-filtering all writes once per directory.
+        line_of = self._line_of
+        home_of = self._home_of_line
+        writes_by_dir: dict[int, list[tuple[int, int]]] = {d: [] for d in groups}
+        for pair in all_writes:
+            writes_by_dir[home_of(line_of(pair[0]))].append(pair)
+        for dir_id, lines in sorted(groups.items()):
+            req = FlushRequest(
+                self.proc_id,
+                tid,
+                tuple(lines),
+                tuple(writes_by_dir[dir_id]),
+                now,
+                tx.site,
+            )
+            send_data(self._dirs[dir_id].receive_flush_request, req)
 
     def receive_flush_done(self, msg: FlushDone) -> None:
         tx = self._tx
@@ -487,18 +546,20 @@ class Processor:
         tx = self._tx
         now = self._engine.now
         tx.status = TxStatus.COMMITTED
-        self.cache.clear_speculative(tx.footprint_lines, commit=True)
+        self.cache.clear_speculative(self._commit_footprint, commit=True)
+        dirs = self._dirs
         for dir_id in self._commit_dirs:
-            self._m.dir(dir_id).unmark_commit(self.proc_id)
+            dirs[dir_id].unmark_commit(self.proc_id)
         self._commit_dirs = None
+        self._commit_footprint = None
         self._m.notify_commit(self.proc_id)
         self._vendor.finish(tx.tid)
         self._m.note_tx_end(now)
         if self._m.validation_mode:
             self._m.record_committed_tx(tx)
 
-        self._c_tx_commits.add()
-        self._c_proc_commits.add()
+        self._c_tx_commits.value += 1
+        self._c_proc_commits.value += 1
         self._h_attempts_to_commit.record(tx.attempt)
         self._h_tx_latency.record(now - self._tx_first_start)
         self._h_commit_phase.record(now - self._commit_start)
@@ -512,6 +573,7 @@ class Processor:
         self._consecutive_aborts = 0
         self._tx = None
         self._tx_gen = None
+        self._tx_send = None
         self._txop = None
         self._set_state(ProcState.RUN)
         self._advance_program(result)
@@ -575,8 +637,9 @@ class Processor:
                 )
             if tx.tid is not None:
                 for dir_id in self._commit_dirs:
-                    self._m.dir(dir_id).unmark_commit(self.proc_id)
+                    self._dirs[dir_id].unmark_commit(self.proc_id)
                 self._commit_dirs = None
+                self._commit_footprint = None
                 self._vendor.release(tx.tid)
                 self._c_aborts_while_committing.add()
 
@@ -588,13 +651,13 @@ class Processor:
         # cycle sum by anything but its paired count.
         if conflict:
             kind = "conflict"
-            self._c_aborts_conflict.add()
+            self._c_aborts_conflict.value += 1
         else:
             kind = "self"
-            self._c_aborts_self.add()
-        self._c_aborts_total.add()
-        self._c_proc_aborts.add()
-        self._c_wasted_cycles.add(now - tx.start_time)
+            self._c_aborts_self.value += 1
+        self._c_aborts_total.value += 1
+        self._c_proc_aborts.value += 1
+        self._c_wasted_cycles.value += now - tx.start_time
         self._consecutive_aborts += 1
         self._epoch += 1
         self._awaiting_fill = None
@@ -604,6 +667,7 @@ class Processor:
         tx.status = TxStatus.ABORTED
         self._tx = None
         self._tx_gen = None
+        self._tx_send = None
         if self._trace_on:
             self._trace.emit(
                 now,

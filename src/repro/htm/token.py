@@ -64,18 +64,23 @@ class TokenVendor:
         return tid in self._live
 
     # ------------------------------------------------------------------
-    def wait_for_turn(self, tid: int, callback: Callable[[], None]) -> None:
-        """Invoke ``callback`` once ``tid`` is the smallest live TID.
+    def wait_for_turn(
+        self, tid: int, callback: Callable[..., None], *args
+    ) -> None:
+        """Invoke ``callback(*args)`` once ``tid`` is the smallest live TID.
 
         The callback fires via a zero-delay engine event; callers guard
         against their own abort in the interim (epoch discipline).
+        Accepting args directly saves the per-commit closure the caller
+        would otherwise build (every commit passes through here).
         """
         if tid not in self._live:
             raise ProtocolError(f"TID {tid} is not live")
         if min(self._live) == tid:
-            self._engine.schedule(0, callback)
+            self._engine.schedule(0, callback, *args)
             return
-        heapq.heappush(self._waiters, (tid, callback))
+        # TIDs are unique, so heap ordering never compares past them.
+        heapq.heappush(self._waiters, (tid, callback, args))
         self._c_barrier_waits.add()
 
     # ------------------------------------------------------------------
@@ -96,7 +101,7 @@ class TokenVendor:
 
     def _drain_waiters(self) -> None:
         while self._waiters:
-            tid, callback = self._waiters[0]
+            tid, callback, args = self._waiters[0]
             if tid not in self._live:
                 # Waiter aborted after queueing; drop the dead entry.
                 heapq.heappop(self._waiters)
@@ -104,4 +109,4 @@ class TokenVendor:
             if min(self._live) != tid:
                 return
             heapq.heappop(self._waiters)
-            self._engine.schedule(0, callback)
+            self._engine.schedule(0, callback, *args)

@@ -140,12 +140,12 @@ class L1Cache:
                 victim = spec_victim
             victim_line = victim.line
             del set_[victim_line]
-            self._c_evictions.add()
+            self._c_evictions.value += 1
             if victim.spec_read or victim.spec_written:
-                self._c_spec_evictions.add()
+                self._c_spec_evictions.value += 1
 
         set_[line] = CacheLineState(line, partial=partial, last_use=self._use_clock)
-        self._c_fills.add()
+        self._c_fills.value += 1
         return victim_line
 
     def invalidate(self, line: int) -> bool:
@@ -153,7 +153,7 @@ class L1Cache:
         set_ = self._sets[line & self._set_mask]
         if line in set_:
             del set_[line]
-            self._c_invalidations.add()
+            self._c_invalidations.value += 1
             return True
         return False
 

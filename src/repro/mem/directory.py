@@ -79,8 +79,12 @@ class Directory:
         self._stats = stats
         self._trace = trace if trace is not None else NullTrace()
 
-        #: line -> set of processor ids holding (or believed to hold) the line
-        self._sharers: dict[int, set[int]] = {}
+        #: line -> bitmask of processor ids holding (or believed to
+        #: hold) the line.  The full-bit-vector sharer list of Table II
+        #: kept literally as a bit vector: flush service then re-homes a
+        #: line with one int store and victim extraction is bit
+        #: arithmetic instead of set iteration (PR 7 batched flush path).
+        self._sharers: dict[int, int] = {}
         #: line -> last committer ("Owner" coherence state of Fig. 2b)
         self._owner: dict[int, int] = {}
         #: processors with live commit intent here ("Marked" bit, Fig. 2e)
@@ -92,12 +96,22 @@ class Directory:
         self._machine = None  # set via attach()
         self.gating: "GatingUnit | None" = None
         self._prefix = f"dir{dir_id}"
+        # Hot-path bindings (see repro.sim.stats): handles and address
+        # constants resolved once, not per request.
+        self._num_dirs = addr_map.num_dirs
+        self._latency = config.latency
+        self._commit_line_cycles = config.commit_line_cycles
+        self._trace_on = self._trace.enabled
         self._c_fills = stats.counter(f"{self._prefix}.fills")
         self._c_flushes = stats.counter(f"{self._prefix}.flushes")
         self._c_lines_committed = stats.counter(
             f"{self._prefix}.lines_committed"
         )
         self._c_aborts_caused = stats.counter(f"{self._prefix}.aborts_caused")
+        #: per-flush batch size distribution (manifest/obs satellite;
+        #: histograms are not serialized into results, so recording one
+        #: is byte-neutral for stores and goldens)
+        self._h_lines_per_flush = stats.histogram("dir.lines_per_flush")
 
     # ------------------------------------------------------------------
     # wiring
@@ -111,14 +125,22 @@ class Directory:
     # sharer bookkeeping
     # ------------------------------------------------------------------
     def sharers_of(self, line: int) -> frozenset[int]:
-        return frozenset(self._sharers.get(line, ()))
+        mask = self._sharers.get(line, 0)
+        sharers = []
+        while mask:
+            low = mask & -mask
+            sharers.append(low.bit_length() - 1)
+            mask ^= low
+        return frozenset(sharers)
 
     def owner_of(self, line: int) -> int | None:
         return self._owner.get(line)
 
     def _check_home(self, lines: Iterable[int]) -> None:
+        num_dirs = self._num_dirs
+        dir_id = self.dir_id
         for line in lines:
-            if self._addr_map.home_of_line(line) != self.dir_id:
+            if line % num_dirs != dir_id:
                 raise ProtocolError(
                     f"line {line} homed at dir "
                     f"{self._addr_map.home_of_line(line)}, not {self.dir_id}"
@@ -139,19 +161,29 @@ class Directory:
     # ------------------------------------------------------------------
     def receive_fill_request(self, req: FillRequest) -> None:
         """Bus-arrival handler for a fill after an L1 miss."""
-        self._check_home([req.line])
-        self._note_request_from(req.proc, req.sent_at)
-        self._c_fills.add()
+        line = req.line
+        if line % self._num_dirs != self.dir_id:
+            self._check_home((line,))  # raises with the full message
+        gating = self.gating
+        if gating is not None:
+            # Stale-OFF recovery (module docstring): any request from a
+            # processor the gating table marks OFF proves it is running.
+            gating.notify_access(req.proc, req.sent_at)
+        self._c_fills.value += 1
 
-        start = max(self._engine.now, self._busy_until)
-        self._busy_until = start + self._config.latency
+        now = self._engine.now
+        busy = self._busy_until
+        start = busy if busy > now else now
+        self._busy_until = start + self._latency
         self._engine.schedule_at(self._busy_until, self._fill_serviced, req)
 
     def _fill_serviced(self, req: FillRequest) -> None:
         # Sharer registration happens at service time, before the data
         # round-trip: any flush applied after this instant invalidates
         # the requester, closing the fill/flush race.
-        self._sharers.setdefault(req.line, set()).add(req.proc)
+        sharers = self._sharers
+        line = req.line
+        sharers[line] = sharers.get(line, 0) | (1 << req.proc)
         self._memory.access(self._fill_data_ready, req)
 
     def _fill_data_ready(self, req: FillRequest) -> None:
@@ -170,76 +202,102 @@ class Directory:
         mechanism), so flush requests reach each directory already
         ordered; this is asserted as a protocol invariant.
         """
-        self._check_home(req.lines)
-        self._note_request_from(req.proc, req.sent_at)
+        lines = req.lines
+        self._check_home(lines)
+        gating = self.gating
+        if gating is not None:
+            gating.notify_access(req.proc, req.sent_at)
         if req.tid <= self.last_committed_tid:
             raise ProtocolError(
                 f"dir {self.dir_id}: flush TID {req.tid} not after watermark "
                 f"{self.last_committed_tid} — commit order violated"
             )
-        self._c_flushes.add()
-        self._c_lines_committed.add(len(req.lines))
+        num_lines = len(lines)
+        self._c_flushes.value += 1
+        self._c_lines_committed.value += num_lines
+        self._h_lines_per_flush.record(num_lines)
 
-        service = self._config.latency + len(req.lines) * self._config.commit_line_cycles
-        start = max(self._engine.now, self._busy_until)
+        service = self._latency + num_lines * self._commit_line_cycles
+        now = self._engine.now
+        busy = self._busy_until
+        start = busy if busy > now else now
         self._busy_until = start + service
         self._engine.schedule_at(self._busy_until, self._flush_complete, req)
 
     def _flush_complete(self, req: FlushRequest) -> None:
         now = self._engine.now
-        # 1. apply committed words to functional memory
-        for addr, value in req.writes:
-            self._memory.write_word(addr, value, writer_tid=req.tid)
-        self.last_committed_tid = max(self.last_committed_tid, req.tid)
+        committer = req.proc
+        tid = req.tid
+        # 1. apply committed words to functional memory — one batched
+        #    pass (the words were validated when buffered)
+        self._memory.write_words(req.writes, tid)
+        if tid > self.last_committed_tid:
+            self.last_committed_tid = tid
 
-        # 2. collect victims and re-home sharer bits
+        # 2. collect victims and re-home sharer bits.  One pass over the
+        #    flushed lines: victims fall out of the sharer bit-vector
+        #    with bit arithmetic, and re-homing is a single int store
+        #    per line (no per-line set allocation).
+        sharers = self._sharers
+        owner = self._owner
+        committer_bit = 1 << committer
         victims: dict[int, list[int]] = {}
         for line in req.lines:
-            for sharer in self._sharers.get(line, ()):  # may include stale entries
-                if sharer != req.proc:
-                    victims.setdefault(sharer, []).append(line)
-            self._sharers[line] = {req.proc}
-            self._owner[line] = req.proc
+            others = sharers.get(line, 0) & ~committer_bit  # may be stale
+            while others:
+                low = others & -others
+                others ^= low
+                victim = low.bit_length() - 1
+                lines = victims.get(victim)
+                if lines is None:
+                    victims[victim] = [line]
+                else:
+                    lines.append(line)
+            sharers[line] = committer_bit
+            owner[line] = committer
 
-        # 3. gating decisions + one invalidation broadcast per victim.
-        #    The "will this victim abort" probe models the abort ack the
-        #    directory would receive a few cycles later in hardware; it
-        #    only affects when the gating-table entry is created (the
-        #    Stop-Clock command rides with the invalidation either way).
-        stop_clock: set[int] = set()
-        for victim, lines in sorted(victims.items()):
-            will_abort = self._machine.proc(victim).would_abort_on(lines)
-            if will_abort:
-                self._c_aborts_caused.add()
-                self._trace.emit(
-                    now,
-                    "dir.abort",
-                    directory=self.dir_id,
-                    victim=victim,
-                    committer=req.proc,
-                    lines=tuple(lines),
+        if victims:
+            # 3. gating decisions + one invalidation broadcast per
+            #    victim.  The "will this victim abort" probe models the
+            #    abort ack the directory would receive a few cycles
+            #    later in hardware; it only affects when the
+            #    gating-table entry is created (the Stop-Clock command
+            #    rides with the invalidation either way).
+            ordered = sorted(victims.items())
+            proc_of = self._machine.proc
+            gating = self.gating
+            stop_clock = 0
+            for victim, lines in ordered:
+                if proc_of(victim).would_abort_on(lines):
+                    self._c_aborts_caused.add()
+                    if self._trace_on:
+                        self._trace.emit(
+                            now,
+                            "dir.abort",
+                            directory=self.dir_id,
+                            victim=victim,
+                            committer=committer,
+                            lines=tuple(lines),
+                        )
+                    if gating is not None and gating.on_abort(
+                        victim, committer, req.site
+                    ):
+                        stop_clock |= 1 << victim
+
+            send_data = self._bus.send_data
+            dir_id = self.dir_id
+            for victim, lines in ordered:
+                msg = Invalidation(victim, committer, dir_id, tuple(lines))
+                send_data(
+                    proc_of(victim).receive_invalidation,
+                    msg,
+                    bool(stop_clock & (1 << victim)),
                 )
-                if self.gating is not None:
-                    if self.gating.on_abort(victim, req.proc, req.site):
-                        stop_clock.add(victim)
-
-        for victim, lines in sorted(victims.items()):
-            msg = Invalidation(victim, req.proc, self.dir_id, tuple(lines))
-            gate = victim in stop_clock
-            proc = self._machine.proc(victim)
-            self._bus.send_data(proc.receive_invalidation, msg, gate)
 
         # 4. acknowledge the committer — after the invalidations, so the
         #    FIFO bus guarantees delivery order.
-        done = FlushDone(req.proc, req.tid, self.dir_id)
-        self._bus.send_ctrl(self._machine.proc(req.proc).receive_flush_done, done)
-
-    # ------------------------------------------------------------------
-    # stale-OFF recovery hook
-    # ------------------------------------------------------------------
-    def _note_request_from(self, proc: int, sent_at: int) -> None:
-        if self.gating is not None:
-            self.gating.notify_access(proc, sent_at)
+        done = FlushDone(committer, tid, self.dir_id)
+        self._bus.send_ctrl(self._machine.proc(committer).receive_flush_done, done)
 
     # ------------------------------------------------------------------
     @property

@@ -43,6 +43,8 @@ class MainMemory:
         self._data: dict[int, int] = {}
         self._port_busy_until = 0
         self._size_bytes = config.size_bytes
+        self._port_occupancy = config.port_occupancy
+        self._latency = config.latency
         self._c_accesses = stats.counter("memory.accesses")
         self._c_port_wait = stats.counter("memory.port_wait_cycles")
         self.record_versions = record_versions
@@ -71,6 +73,25 @@ class MainMemory:
         if self.record_versions:
             self.version_log.append((self._engine.now, addr, value, writer_tid))
 
+    def write_words(
+        self, writes: tuple[tuple[int, int], ...], writer_tid: int = -1
+    ) -> None:
+        """Commit a batch of ``(addr, value)`` pairs in one pass.
+
+        The batched flush-application path: one dict update instead of
+        a checked call per word.  Addresses must already be word-aligned
+        and in range — flush writes come from a transaction's store
+        buffer, validated word by word at buffer time
+        (``AddressMap.check_word_addr``), so re-checking here would only
+        re-verify the committer's own invariant on the hot path.
+        """
+        self._data.update(writes)
+        if self.record_versions:
+            now = self._engine.now
+            self.version_log.extend(
+                (now, addr, value, writer_tid) for addr, value in writes
+            )
+
     def load_image(self, image: Mapping[int, int]) -> None:
         """Install a workload's initial memory image (time-free)."""
         for addr, value in image.items():
@@ -94,11 +115,12 @@ class MainMemory:
         now = engine.now
         busy = self._port_busy_until
         start = busy if busy > now else now
-        self._port_busy_until = start + self._config.port_occupancy
-        done = start + self._config.latency
+        self._port_busy_until = start + self._port_occupancy
+        done = start + self._latency
         engine.schedule_at(done, fn, *args)
 
-        self._c_accesses.add()
+        # Inlined counter bumps: every fill and flush pays this path.
+        self._c_accesses.value += 1
         if start > now:
-            self._c_port_wait.add(start - now)
+            self._c_port_wait.value += start - now
         return done

@@ -2,8 +2,13 @@
 
 Messages exist mostly for readability and tracing — delivery itself is a
 scheduled callback over the :class:`~repro.mem.bus.Bus`.  Keeping the
-payloads as small frozen dataclasses makes protocol tests able to assert
-on exact message content, and gives the trace stream stable field names.
+payloads as small dataclasses makes protocol tests able to assert on
+exact message content, and gives the trace stream stable field names.
+They are slotted but deliberately *not* frozen: commit storms allocate
+one ``FlushRequest`` per homed directory and one ``Invalidation`` per
+victim, and a frozen dataclass constructs via ``object.__setattr__``
+per field — a measured cost at that rate.  Treat instances as
+immutable by convention; no component may mutate a message after send.
 
 The gating-specific messages mirror Section V of the paper verbatim:
 ``StopClock`` freezes a victim, ``TurnOn`` is delivered "to the output
@@ -28,7 +33,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FillRequest:
     """Processor -> directory: fetch a line after an L1 miss.
 
@@ -51,7 +56,7 @@ class FillRequest:
     req_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FillReply:
     """Directory -> processor: line data (values read functionally).
 
@@ -63,7 +68,7 @@ class FillReply:
     req_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FlushRequest:
     """Committer -> directory: commit these speculative lines.
 
@@ -84,7 +89,7 @@ class FlushRequest:
     site: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class FlushDone:
     """Directory -> committer: your lines are globally visible here."""
 
@@ -93,7 +98,7 @@ class FlushDone:
     directory: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Invalidation:
     """Directory -> sharer: lines just committed by ``committer``.
 
@@ -110,7 +115,7 @@ class Invalidation:
     lines: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StopClock:
     """Directory -> victim: gate all clocks (rides with the abort)."""
 
@@ -118,7 +123,7 @@ class StopClock:
     directory: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TurnOn:
     """Directory -> victim: ungate ("on" command to the main PLL)."""
 
@@ -126,7 +131,7 @@ class TurnOn:
     directory: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TxInfoReq:
     """Directory -> (committing) processor: which transaction are you in?"""
 
@@ -134,7 +139,7 @@ class TxInfoReq:
     target: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TxInfoReply:
     """Processor -> directory: the site id (PC) of the live transaction.
 

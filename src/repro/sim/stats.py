@@ -66,47 +66,100 @@ class Histogram:
     Stores count/sum/min/max/sum-of-squares exactly plus a log2-bucketed
     distribution — enough for transaction-latency and gating-window
     reporting without keeping every sample.
+
+    Recording is *deferred*: ``record`` only appends to a pending list
+    (one list append — the simulator records on commit/abort/flush hot
+    paths), and the moments fold in on first read.  Readers always go
+    through the accessor properties, so the folding is unobservable;
+    the pending buffer costs one machine word per sample until the run
+    ends and is dropped at fold time.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_sumsq", "buckets")
+    __slots__ = (
+        "name", "_pending", "_count", "_total", "_min", "_max",
+        "_sumsq", "_buckets",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.count = 0
-        self.total = 0
-        self.min: int | None = None
-        self.max: int | None = None
+        self._pending: list[int] = []
+        self._count = 0
+        self._total = 0
+        self._min: int | None = None
+        self._max: int | None = None
         self._sumsq = 0
-        self.buckets: dict[int, int] = {}
+        self._buckets: dict[int, int] = {}
 
     def record(self, value: int) -> None:
-        self.count += 1
-        self.total += value
-        self._sumsq += value * value
-        mn = self.min
-        if mn is None or value < mn:
-            self.min = value
-        mx = self.max
-        if mx is None or value > mx:
-            self.max = value
-        bucket = value.bit_length() if value > 0 else 0
-        buckets = self.buckets
-        buckets[bucket] = buckets.get(bucket, 0) + 1
+        self._pending.append(value)
 
     def record_many(self, values: Iterable[int]) -> None:
-        for v in values:
-            self.record(v)
+        self._pending.extend(values)
+
+    def _fold(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        count = self._count
+        total = self._total
+        sumsq = self._sumsq
+        mn = self._min
+        mx = self._max
+        buckets = self._buckets
+        for value in pending:
+            count += 1
+            total += value
+            sumsq += value * value
+            if mn is None or value < mn:
+                mn = value
+            if mx is None or value > mx:
+                mx = value
+            bucket = value.bit_length() if value > 0 else 0
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        self._count = count
+        self._total = total
+        self._sumsq = sumsq
+        self._min = mn
+        self._max = mx
+
+    @property
+    def count(self) -> int:
+        self._fold()
+        return self._count
+
+    @property
+    def total(self) -> int:
+        self._fold()
+        return self._total
+
+    @property
+    def min(self) -> int | None:
+        self._fold()
+        return self._min
+
+    @property
+    def max(self) -> int | None:
+        self._fold()
+        return self._max
+
+    @property
+    def buckets(self) -> dict[int, int]:
+        self._fold()
+        return self._buckets
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        self._fold()
+        return self._total / self._count if self._count else 0.0
 
     @property
     def variance(self) -> float:
-        if self.count < 2:
+        self._fold()
+        if self._count < 2:
             return 0.0
-        m = self.mean
-        return max(0.0, self._sumsq / self.count - m * m)
+        m = self._total / self._count
+        return max(0.0, self._sumsq / self._count - m * m)
 
     @property
     def stddev(self) -> float:

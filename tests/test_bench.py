@@ -234,3 +234,104 @@ class TestRegressionGate:
         err = capsys.readouterr().err
         assert "REGRESSION bench_stats" in err
         assert "bench gate FAILED" in err
+
+
+class TestBaselineSelection:
+    """Bare `--compare`: newest committed session wins, baseline falls back."""
+
+    @staticmethod
+    def _session(name: str, created: float, check: bool) -> dict:
+        return {
+            "schema": 1,
+            "kind": "bench",
+            "label": name,
+            "created": created,
+            "benchmarks": {
+                "bench_stats": {
+                    "name": "bench_stats", "unit": "bumps",
+                    "units_per_second": 1.0,
+                    "meta": {"check": check},
+                },
+            },
+        }
+
+    def test_session_check_mode(self):
+        from repro.bench import session_check_mode
+
+        assert session_check_mode(self._session("a", 1.0, check=True))
+        assert not session_check_mode(self._session("a", 1.0, check=False))
+        assert not session_check_mode({"kind": "bench", "benchmarks": {}})
+
+    def test_newest_matching_session_wins(self, tmp_path):
+        from repro.bench import find_baseline, write_bench_json
+
+        write_bench_json(tmp_path / "BENCH_baseline.json",
+                         self._session("baseline", 5.0, check=True))
+        write_bench_json(tmp_path / "BENCH_pr6.json",
+                         self._session("pr6", 10.0, check=True))
+        write_bench_json(tmp_path / "BENCH_pr7.json",
+                         self._session("pr7", 20.0, check=True))
+        found = find_baseline(tmp_path, check=True)
+        assert found is not None and found.name == "BENCH_pr7.json"
+
+    def test_check_mode_filter_and_baseline_fallback(self, tmp_path):
+        from repro.bench import find_baseline, write_bench_json
+
+        write_bench_json(tmp_path / "BENCH_baseline.json",
+                         self._session("baseline", 5.0, check=True))
+        write_bench_json(tmp_path / "BENCH_full.json",
+                         self._session("full", 50.0, check=False))
+        # the full-mode session is newest but mode-incompatible
+        found = find_baseline(tmp_path, check=True)
+        assert found is not None and found.name == "BENCH_baseline.json"
+        found_full = find_baseline(tmp_path, check=False)
+        assert found_full is not None and found_full.name == "BENCH_full.json"
+        # no filter at all: newest session regardless of mode
+        found_any = find_baseline(tmp_path, check=None)
+        assert found_any is not None and found_any.name == "BENCH_full.json"
+
+    def test_comparison_reports_and_garbage_are_skipped(self, tmp_path):
+        import json as _json
+
+        from repro.bench import find_baseline
+
+        (tmp_path / "BENCH_pr3.json").write_text(
+            _json.dumps({"schema": 1, "kind": "comparison", "created": 99.0,
+                         "speedup": {}})
+        )
+        (tmp_path / "BENCH_junk.json").write_text("not json")
+        assert find_baseline(tmp_path) is None
+        from repro.bench import write_bench_json
+
+        write_bench_json(tmp_path / "BENCH_baseline.json",
+                         self._session("baseline", 1.0, check=True))
+        found = find_baseline(tmp_path)
+        assert found is not None and found.name == "BENCH_baseline.json"
+
+    def test_cli_bare_compare_uses_newest_session(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0",
+            "--out", "BENCH_pr_test.json",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0",
+            "--compare", "--max-regression", "95",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "BENCH_pr_test.json" in captured.err
+        assert "bench gate OK" in captured.out
+
+    def test_cli_bare_compare_without_any_baseline_fails(self, capsys,
+                                                         tmp_path,
+                                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "bench", "--check", "--bench", "bench_stats",
+            "--repeats", "1", "--warmup", "0", "--compare",
+        ]) == 1
+        assert "nothing to compare against" in capsys.readouterr().err

@@ -28,10 +28,14 @@ from repro.scenarios.runner import run_suite
 from repro.workloads.registry import available_workloads
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "smoke_golden.json"
+FLUSH_GOLDEN_PATH = Path(__file__).parent / "data" / "flush_golden.json"
 
 #: Counters introduced (deliberately) after the golden was captured.
 #: Everything else in a result must match the golden byte for byte.
 COUNTERS_ADDED_SINCE_GOLDEN = {"tx.aborts.total"}
+
+#: Same escape hatch for the flush-heavy golden (captured pre-PR7).
+FLUSH_COUNTERS_ADDED_SINCE_GOLDEN: set[str] = set()
 
 
 def fingerprint(result) -> tuple:
@@ -118,6 +122,49 @@ def test_smoke_suite_matches_pre_refactor_golden():
             k: v
             for k, v in result.pop("counters").items()
             if k not in COUNTERS_ADDED_SINCE_GOLDEN
+        }
+        golden_counters = dict(golden_result)
+        expected_counters = golden_counters.pop("counters")
+        assert result == golden_counters, f"result fields drifted ({digest[:12]})"
+        assert counters == expected_counters, f"counters drifted ({digest[:12]})"
+
+
+def test_flush_heavy_suite_matches_golden():
+    """High-contention capture pinning the directory commit-flush path.
+
+    yada and labyrinth at 16 threads produce long invalidation fan-outs
+    and abort/retry flush storms — exactly the path the batched flush
+    service rewrote.  Digests and full results must match the frozen
+    pre-rewrite capture (``scripts/regen_flush_golden.py``); counters
+    added since go in FLUSH_COUNTERS_ADDED_SINCE_GOLDEN, everything
+    else byte for byte.
+    """
+    from repro.scenarios.runner import run_specs
+    from repro.scenarios.spec import ScenarioSpec
+
+    golden = json.loads(FLUSH_GOLDEN_PATH.read_text())
+    gold = {e["digest"]: e["result"] for e in golden["entries"]}
+    specs = [
+        ScenarioSpec(
+            workload=workload, scale="tiny", threads=16, seed=0, gating=gating
+        )
+        for workload in ("yada", "labyrinth")
+        for gating in (False, True)
+    ]
+
+    fresh: dict[str, dict] = {}
+    for entry in run_specs(specs, executor=Executor(jobs=1)):
+        fresh[entry.spec.to_job().digest] = result_to_dict(entry.result)
+
+    assert sorted(fresh) == sorted(gold), (
+        "RunJob digests changed — cached results would invalidate"
+    )
+    for digest, golden_result in gold.items():
+        result = dict(fresh[digest])
+        counters = {
+            k: v
+            for k, v in result.pop("counters").items()
+            if k not in FLUSH_COUNTERS_ADDED_SINCE_GOLDEN
         }
         golden_counters = dict(golden_result)
         expected_counters = golden_counters.pop("counters")

@@ -340,6 +340,121 @@ class TestStoreConcurrency:
         assert (probe.hits, probe.misses) == (2, 1)
 
 
+class TestReplicatePacks:
+    """Seed-family packing: identical results, fewer pool dispatches."""
+
+    def seed_family(self, count: int = 4) -> list[RunJob]:
+        return [tiny_job(seed=seed) for seed in range(1, count + 1)]
+
+    def test_replicate_key_groups_only_seed_variants(self):
+        from repro.exec.jobs import replicate_key
+
+        family = {replicate_key(job) for job in self.seed_family()}
+        assert len(family) == 1
+        strangers = [
+            tiny_job(procs=4),
+            tiny_job(w0=16),
+            tiny_job(gated=False),
+            tiny_job("intruder"),
+        ]
+        assert all(replicate_key(job) not in family for job in strangers)
+
+    def test_pack_results_match_per_process_bit_for_bit(self):
+        jobs = self.seed_family() + [tiny_job("intruder")]
+        packed = Executor(jobs=2, packs=True).run(jobs)
+        unpacked = Executor(jobs=2, packs=False).run(jobs)
+        serial = Executor(jobs=1).run(jobs)
+        assert [result_to_dict(r) for r in packed] == [
+            result_to_dict(r) for r in unpacked
+        ] == [result_to_dict(r) for r in serial]
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_pack_and_per_process_stores_are_identical(self, tmp_path, backend):
+        """The store never sees packs: same digests, same records."""
+        jobs = self.seed_family()
+
+        def normalized(directory):
+            store = ResultStore(directory, backend=backend)
+            records = {}
+            for digest, _label in store.labels():
+                records[digest] = result_to_dict(store.get(digest))
+            store.close()
+            return records
+
+        Executor(jobs=2, packs=True,
+                 store=ResultStore(tmp_path / "on", backend=backend)).run(jobs)
+        Executor(jobs=2, packs=False,
+                 store=ResultStore(tmp_path / "off", backend=backend)).run(jobs)
+        on, off = normalized(tmp_path / "on"), normalized(tmp_path / "off")
+        assert sorted(on) == sorted(off)
+        assert on == off
+
+    def test_pack_identity_under_shard(self, tmp_path):
+        """Sharding partitions by job digest, so packs cannot change it."""
+        from repro.scenarios.runner import Shard
+
+        jobs = self.seed_family(6)
+        shard = Shard(index=1, count=2)
+        owned = [job for job in jobs if shard.owns(job.digest)]
+        assert 0 < len(owned) < len(jobs)  # a real partition
+        packed = Executor(jobs=2, packs=True).run(owned)
+        unpacked = Executor(jobs=2, packs=False).run(owned)
+        assert [result_to_dict(r) for r in packed] == [
+            result_to_dict(r) for r in unpacked
+        ]
+
+    def test_pack_member_failure_spares_siblings(self, tmp_path, monkeypatch):
+        """One bad seed fails its job; the rest of the pack still lands."""
+        import repro.exec.executor as executor_mod
+
+        # Force everything into one pack so the bad job shares a unit
+        # with the good ones.
+        monkeypatch.setattr(
+            executor_mod, "replicate_key", lambda job: "one-family"
+        )
+        good = self.seed_family(2)
+        bad = RunJob(workload("no-such-workload", scale="tiny"), TINY)
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExecutionError, match="no-such-workload"):
+            Executor(jobs=2, packs=True, store=store).run(good + [bad])
+        assert all(job.digest in store for job in good)
+        assert bad.digest not in store
+
+    def test_execute_pack_isolates_member_exceptions(self):
+        from repro.exec.jobs import execute_pack
+
+        bad = RunJob(workload("no-such-workload", scale="tiny"), TINY)
+        outcomes = execute_pack([bad, tiny_job()])
+        assert outcomes[0].result is None
+        assert "no-such-workload" in outcomes[0].error
+        assert outcomes[0].traceback
+        assert outcomes[1].result is not None and outcomes[1].error is None
+
+    def test_dispatch_units_split_to_fill_workers(self):
+        jobs = self.seed_family(8)
+        pending = [(job.digest, job) for job in jobs]
+        exe = Executor(jobs=4, packs=True)
+        units = exe._dispatch_units(pending, workers=4)
+        assert [len(unit) for unit in units] == [2, 2, 2, 2]
+        # flattened order covers exactly the pending jobs
+        flat = [digest for unit in units for digest, _job in unit]
+        assert sorted(flat) == sorted(digest for digest, _job in pending)
+        # packs off: one singleton per job, in submission order
+        exe_off = Executor(jobs=4, packs=False)
+        assert [len(u) for u in exe_off._dispatch_units(pending, 4)] == [1] * 8
+
+    def test_no_packs_environment_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PACKS", "1")
+        assert Executor().packs is False
+        monkeypatch.setenv("REPRO_NO_PACKS", "0")
+        assert Executor().packs is True
+        monkeypatch.delenv("REPRO_NO_PACKS")
+        assert Executor().packs is True
+        # an explicit argument always wins over the environment
+        monkeypatch.setenv("REPRO_NO_PACKS", "1")
+        assert Executor(packs=True).packs is True
+
+
 class TestSweepIntegration:
     """The acceptance criterion: a cached sweep re-runs nothing."""
 
