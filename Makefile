@@ -8,11 +8,33 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-sharded figures figures-smoke obs-smoke bench \
-	bench-check bench-dir bench-gate bench-exec clean-cache
+.PHONY: test check typecheck smoke smoke-sharded figures figures-smoke \
+	obs-smoke bench bench-check bench-dir bench-gate bench-exec \
+	clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The static-analysis gate: the repo's own AST rules over the whole
+# tree (see docs/static-analysis.md), then the typed-core/style gates
+# when the external tools are installed (CI always runs them; a bare
+# dev container may not have them).
+check:
+	$(PYTHON) -m repro check src tests scripts
+	$(MAKE) typecheck
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests scripts; \
+	else \
+		echo "ruff not installed; skipping style gate (CI runs it)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --strict src/repro/exec src/repro/figures \
+			src/repro/obs src/repro/scenarios; \
+	else \
+		echo "mypy not installed; skipping typed-core gate (CI runs it)"; \
+	fi
 
 smoke: test
 	bash scripts/smoke.sh

@@ -13,6 +13,9 @@ SWEEP=(sweep counter --scale tiny --procs 2 --w0-values 2 8
 
 rm -rf "$CACHE_DIR"
 
+echo "== smoke: static analysis (repro check) =="
+python -m repro check src tests scripts
+
 echo "== smoke: cold sweep (parallel, populating cache) =="
 cold=$(python -m repro "${SWEEP[@]}" 2>cold.err)
 cat cold.err

@@ -14,6 +14,11 @@ Turns traces and timelines into the artefacts a systems study needs:
   from figure-pipeline artifacts (``figures/<name>.json``), consuming
   the shared :mod:`repro.figures.extract` outputs instead of
   re-deriving rows.
+* :mod:`~repro.analysis.lint` / :mod:`~repro.analysis.rules` — the
+  ``repro check`` static-analysis engine: AST rules that keep the
+  tree's determinism, digest-purity, store-discipline, observability
+  and gating-protocol invariants machine-checked (imported lazily by
+  the CLI; see docs/static-analysis.md).
 """
 
 from .conflicts import ConflictStats, abort_graph, conflict_stats

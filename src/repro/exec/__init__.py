@@ -36,6 +36,8 @@ exposes it as ``--jobs N``, ``--cache-dir PATH``, ``--no-cache`` and
 the ``exec-status`` subcommand.
 """
 
+from __future__ import annotations
+
 from .backends import (
     BACKEND_CHOICES,
     BACKENDS,

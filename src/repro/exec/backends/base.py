@@ -34,7 +34,7 @@ class StoreBackend(abc.ABC):
     #: the file this backend owns inside the cache directory
     filename: ClassVar[str]
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.path = self.directory / self.filename
 

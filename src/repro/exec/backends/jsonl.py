@@ -38,7 +38,7 @@ class JsonlBackend(StoreBackend):
     name = "jsonl"
     filename = "results.jsonl"
 
-    def __init__(self, directory):
+    def __init__(self, directory: str | Path) -> None:
         super().__init__(directory)
         self._lock_path = self.directory / (self.filename + ".lock")
 

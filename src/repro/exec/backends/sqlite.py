@@ -46,7 +46,7 @@ class SqliteBackend(StoreBackend):
     name = "sqlite"
     filename = "results.db"
 
-    def __init__(self, directory):
+    def __init__(self, directory: str | Path) -> None:
         super().__init__(directory)
         self._conn: sqlite3.Connection | None = None
 

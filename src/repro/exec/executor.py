@@ -151,7 +151,7 @@ class BatchExecutionError(ExecutionError):
     leading with the first failure.
     """
 
-    def __init__(self, message: str, failures: Sequence[JobFailure]):
+    def __init__(self, message: str, failures: Sequence[JobFailure]) -> None:
         super().__init__(message)
         self.failures = list(failures)
 
@@ -249,7 +249,7 @@ class Executor:
         refresh: bool = False,
         profile: bool = False,
         packs: bool | None = None,
-    ):
+    ) -> None:
         if jobs < 0:
             raise ExecutionError(f"worker count cannot be negative: {jobs}")
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
@@ -614,6 +614,9 @@ class Executor:
                             progress_state[0], len(pending), job, seconds
                         )
                 if failures:
+                    # repro: allow[DET003] — cancellation of the not-yet-
+                    # scheduled futures is order-insensitive: no result
+                    # is produced or stored on this path
                     for other in remaining:
                         other.cancel()
                     raise self._fail(failures, recorder) from first_exc

@@ -49,7 +49,7 @@ NullProgress = ProgressListener
 class ConsoleProgress(ProgressListener):
     """Human-readable one-line-per-event reporting."""
 
-    def __init__(self, stream: IO[str] | None = None):
+    def __init__(self, stream: IO[str] | None = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
 
     def _emit(self, text: str) -> None:

@@ -91,7 +91,9 @@ class ResultStore:
         a ready :class:`~repro.exec.backends.StoreBackend` instance.
     """
 
-    def __init__(self, directory: str | Path, backend: str | StoreBackend = "auto"):
+    def __init__(
+        self, directory: str | Path, backend: str | StoreBackend = "auto"
+    ) -> None:
         self.directory = Path(directory)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)

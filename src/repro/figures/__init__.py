@@ -10,6 +10,8 @@ list|status|build`` is the CLI surface; ``examples/figures_pipeline.py``
 shows a user-defined figure over a custom suite.
 """
 
+from __future__ import annotations
+
 from .builder import BuildReport, FigureArtifact, FigureBuilder, FigureStatus
 from .extract import (
     ExtractionContext,

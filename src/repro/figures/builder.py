@@ -146,7 +146,7 @@ class FigureBuilder:
         progress: ProgressListener | None = None,
         power_model: PowerModel | None = None,
         profile: bool = False,
-    ):
+    ) -> None:
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         if store is None:
             # held on the builder so the throw-away store really is

@@ -32,6 +32,7 @@ from ..power.model import PowerModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scenarios.runner import ScenarioResult
+    from ..scenarios.spec import ScenarioSpec
     from .spec import FigureParams
 
 __all__ = [
@@ -87,10 +88,14 @@ class ExtractionContext:
 _EXTRACTORS: dict[str, tuple[Callable[[ExtractionContext], Any], int]] = {}
 
 
-def register_extractor(name: str, version: int = 1):
+def register_extractor(
+    name: str, version: int = 1
+) -> Callable[[Callable[[ExtractionContext], Any]], Callable[[ExtractionContext], Any]]:
     """Register ``fn(ctx) -> JSON-able data`` under *name* (decorator)."""
 
-    def decorate(fn: Callable[[ExtractionContext], Any]):
+    def decorate(
+        fn: Callable[[ExtractionContext], Any]
+    ) -> Callable[[ExtractionContext], Any]:
         _EXTRACTORS[name] = (fn, version)
         return fn
 
@@ -119,7 +124,7 @@ def extractor_version(name: str) -> int:
 # ----------------------------------------------------------------------
 # shared row derivations (the former private duplicates)
 # ----------------------------------------------------------------------
-def _pair_key(spec, with_w0: bool) -> tuple:
+def _pair_key(spec: "ScenarioSpec", with_w0: bool) -> tuple[Any, ...]:
     return (
         spec.workload,
         spec.scale,

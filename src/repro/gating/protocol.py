@@ -124,6 +124,13 @@ class GatingUnit:
         return send_stop
 
     def _arm_timer(self, entry: GatingEntry) -> None:
+        # Eq. 8 precondition: a window only exists for a recorded abort.
+        # Both callers uphold this (on_abort bumps first, _renew checks
+        # and ends stale episodes in a Turn-On) — keep the invariant
+        # local so no future caller can reintroduce the PR 5 crash.
+        assert entry.abort_count >= 1, (
+            f"gating window armed with no abort recorded (proc {entry.proc})"
+        )
         window = self._cm.gating_window_ex(
             entry.abort_count, entry.renew_count, entry.momentum
         )

@@ -18,7 +18,79 @@ attributes used by :meth:`TxMetricsMixin.summary`.
 
 from __future__ import annotations
 
-__all__ = ["TxMetricsMixin"]
+__all__ = ["TxMetricsMixin", "DECLARED_METRICS"]
+
+#: The canonical catalog of every Counter/Histogram name the code may
+#: bump — simulator stats (``StatsRegistry.counter/histogram/bump``)
+#: and observability counters (``ObsRecorder.count``) alike.  Entries
+#: are ``fnmatch`` patterns: per-component dotted prefixes that are
+#: built with f-strings at wiring time (``f"{prefix}.cache.hits"``)
+#: appear here with the dynamic segment collapsed to ``*``, exactly how
+#: the ``OBS301[undeclared-metric]`` lint rule normalizes them.  Adding
+#: a metric to the code without declaring it here fails `repro check` —
+#: the registry is what keeps reporting, docs and manifests working
+#: from one shared name catalog (see docs/static-analysis.md).
+DECLARED_METRICS: frozenset[str] = frozenset({
+    # -- transactions (htm/processor.py, htm/token.py) ---------------
+    "tx.attempts",          # event count: transaction attempts started
+    "tx.commits",           # event count: attempts that committed
+    "tx.commit_attempts",   # event count: commit-token requests issued
+    "tx.aborts.conflict",   # event count: conflict-invalidation aborts
+    "tx.aborts.self",       # event count: wake-up self-aborts
+    "tx.aborts.total",      # event count: all aborts (pairs wasted_cycles)
+    "tx.wasted_cycles",     # cycle sum: work invested in aborted attempts
+    "tx.aborts_while_committing",  # event count: aborts past token grant
+    "tx.latency",           # histogram: attempt start -> commit
+    "tx.attempts_to_commit",  # histogram: attempts needed per commit
+    "tx.commit_phase",      # histogram: commit-phase duration
+    # -- commit-token vendor (htm/token.py, htm/machine.py) ----------
+    "vendor.tids_issued",   # event count: TIDs handed out
+    "vendor.commits",       # event count: commit grants
+    "vendor.releases",      # event count: token releases
+    "vendor.barrier_waits",  # event count: waits at the TID-order barrier
+    "vendor.stale_grants",  # event count: grants to already-aborted txs
+    # -- clock gating (gating/protocol.py, htm/processor.py) ---------
+    "gating.gated",         # event count: Stop-Clock transitions taken
+    "gating.wakeups",       # event count: Turn-On transitions taken
+    "gating.redundant_on",  # event count: Turn-Ons for running procs
+    "gating.renewals",      # event count: window renewals (all dirs)
+    "gating.txinfo_requests",  # event count: TxInfoReq round-trips
+    "gating.gated_cycles",  # histogram: cycles spent gated per episode
+    "gating.window",        # histogram: Eq. 8 window lengths armed
+    "*.aborts_recorded",    # dirN.gating: aborts logged at this directory
+    "*.renewals",           # dirN.gating: window renewals here
+    "*.turn_ons",           # dirN.gating: Turn-Ons sent from here
+    "*.stale_off_cleared",  # dirN.gating: stale-OFF recoveries here
+    # -- memory system (mem/bus.py, mem/memory.py, mem/directory.py) -
+    "bus.messages",         # event count: messages carried
+    "bus.busy_cycles",      # cycle sum: bus occupancy
+    "bus.queue_cycles",     # cycle sum: waiting for the bus
+    "memory.accesses",      # event count: DRAM accesses
+    "memory.port_wait_cycles",  # cycle sum: port-contention waits
+    "dir.lines_per_flush",  # histogram: commit-flush batch sizes
+    # -- per-processor / per-cache / per-directory prefixes ----------
+    "*.cache.hits",         # procN.cache.hits
+    "*.cache.misses",       # procN.cache.misses
+    "*.commits",            # procN.commits
+    "*.aborts",             # procN.aborts
+    "*.stale_fills",        # procN.stale_fills (post-abort fills)
+    "*.fills",              # procN.cache / dirN fills
+    "*.evictions",          # procN.cache.evictions
+    "*.spec_evictions",     # speculative-line evictions
+    "*.invalidations",      # procN.cache.invalidations
+    "*.aborts_caused",      # dirN.aborts_caused
+    "*.flushes",            # dirN.flushes
+    "*.lines_committed",    # dirN.lines_committed (commit-flush volume)
+    # -- result store / executor observability (ObsRecorder.count) ---
+    "store.puts",           # records written through the store
+    "store.hits",           # cache hits served
+    "store.misses",         # cache misses
+    "store.invalidations",  # tombstones written
+    "store.skipped_records",  # torn/foreign-schema lines skipped
+    "store.lock_acquisitions",  # advisory-lock acquires
+    "store.lock_wait_s",    # seconds spent waiting on the lock
+    "dir.flush_batches",    # batched commit-flush drains (PR 7)
+})
 
 
 class TxMetricsMixin:

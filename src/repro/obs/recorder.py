@@ -70,7 +70,7 @@ class Span:
     __slots__ = ("name", "id", "parent", "attrs", "ts")
 
     def __init__(self, name: str, id: str, parent: str | None,
-                 attrs: dict[str, Any], ts: float):
+                 attrs: dict[str, Any], ts: float) -> None:
         self.name = name
         self.id = id
         self.parent = parent
@@ -166,7 +166,7 @@ class ObsRecorder(NullRecorder):
 
     def __init__(self, directory: str | Path, run_id: str | None = None,
                  argv: list[str] | None = None,
-                 flush_every: int = FLUSH_EVERY):
+                 flush_every: int = FLUSH_EVERY) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         #: the process that *started* the run owns its manifest; attached

@@ -17,6 +17,8 @@ The scenario layer turns evaluation matrices into *data*:
   ``repro suite run --suite paper-fig7``.
 """
 
+from __future__ import annotations
+
 from .builtin import available_suites, get_suite, register_suite, suite_help
 from .runner import (
     PlanEntry,

@@ -21,7 +21,7 @@ __all__ = ["available_suites", "get_suite", "register_suite", "suite_help"]
 _EVAL_PROCS = (4, 8, 16)
 
 
-def _base(workload: str, scale: str, seed: int, **kw) -> ScenarioSpec:
+def _base(workload: str, scale: str, seed: int, **kw: object) -> ScenarioSpec:
     return ScenarioSpec(workload=workload, scale=scale, seed=seed, **kw)
 
 

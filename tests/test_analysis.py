@@ -189,3 +189,458 @@ class TestRunReport:
         text = run_report(result, trace)
         assert "ungated" in text
         assert "conflicts:" in text
+
+
+# ======================================================================
+# the `repro check` lint engine (repro.analysis.lint / .rules)
+# ======================================================================
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import (
+    check_source,
+    registered_rules,
+    render_json,
+    run_check,
+)
+
+
+def _check(source, module="sim/example.py", select=None):
+    """Run the registered rules over one in-memory module.
+
+    ``module`` is the virtual location below ``src/repro/`` (or any
+    non-package path like ``tests/foo.py``), which is what the
+    package-scoped rules key on.
+    """
+    if "/" in module and not module.startswith(("tests/", "scripts/")):
+        path = Path("src/repro") / module
+    else:
+        path = Path(module)
+    rules = registered_rules()
+    if select:
+        rules = [r for r in rules if r.id in select or r.name in select]
+    findings, suppressed, errors = check_source(
+        textwrap.dedent(source), path, rules
+    )
+    assert not errors, errors
+    return findings, suppressed
+
+
+def _rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestLintEngine:
+    def test_registry_has_first_class_rule_set(self):
+        ids = [rule.id for rule in registered_rules()]
+        assert len(ids) >= 8
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+        for rule in registered_rules():
+            assert rule.name and rule.rationale
+
+    def test_trailing_suppression(self):
+        findings, suppressed = _check(
+            """\
+            import time
+
+            def now():
+                return time.time()  # repro: allow[DET001]
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_comment_block_suppression_above(self):
+        findings, suppressed = _check(
+            """\
+            import time
+
+            def now():
+                # justified: example fixture
+                # repro: allow[wallclock]
+                return time.time()
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_star_suppression_and_unknown_id(self):
+        findings, suppressed = _check(
+            """\
+            import time
+
+            def now():
+                return time.time()  # repro: allow[*]
+
+            x = 1  # repro: allow[NOPE999]
+            """
+        )
+        assert suppressed == 1
+        assert _rule_ids(findings) == ["SUPP"]
+        assert "NOPE999" in findings[0].message
+
+    def test_suppression_in_docstring_is_inert(self):
+        findings, _ = _check(
+            '''\
+            def doc():
+                """Mentions # repro: allow[NOPE999] in prose only."""
+                return 1
+            '''
+        )
+        assert findings == []
+
+    def test_parse_error_is_reported_not_raised(self):
+        findings, suppressed, errors = check_source(
+            "def broken(:\n", Path("src/repro/sim/x.py"), registered_rules()
+        )
+        assert findings == [] and suppressed == 0
+        assert [e.rule for e in errors] == ["PARSE"]
+
+    def test_run_check_walks_dirs_and_json_round_trips(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        (tmp_path / "src" / "repro" / "sim" / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "skip.py").write_text("import time\n")
+        report = run_check([tmp_path / "src"])
+        assert report.files_checked == 1
+        assert report.exit_code == 1
+        assert report.by_rule() == {"DET001": 1}
+        payload = json.loads(render_json(report))
+        assert payload["schema"] == 1
+        assert payload["exit_code"] == 1
+        assert payload["by_rule"] == {"DET001": 1}
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["findings"][0]["line"] == 4
+
+    def test_select_and_ignore(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "sim"
+        bad.mkdir(parents=True)
+        (bad / "two.py").write_text(
+            "import time\nimport random\n\n"
+            "def f(items):\n"
+            "    random.shuffle(items)\n"
+            "    return time.time()\n"
+        )
+        assert run_check([tmp_path], select=["DET001"]).by_rule() == {
+            "DET001": 1
+        }
+        assert run_check([tmp_path], ignore=["DET001"]).by_rule() == {
+            "DET002": 1
+        }
+
+
+class TestDeterminismRules:
+    def test_det001_flags_wallclock_in_core(self):
+        findings, _ = _check(
+            """\
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            module="htm/example.py",
+        )
+        assert _rule_ids(findings) == ["DET001"]
+
+    def test_det001_ignores_non_core_code(self):
+        findings, _ = _check(
+            "import time\n\ndef f():\n    return time.time()\n",
+            module="scripts/bench.py",
+        )
+        assert findings == []
+
+    def test_det002_flags_stdlib_random_and_bare_default_rng(self):
+        findings, _ = _check(
+            """\
+            import random
+            import numpy as np
+
+            def f(items):
+                random.shuffle(items)
+                a = np.random.default_rng()
+                b = np.random.default_rng(42)
+                return a, b
+            """,
+            module="workloads/example.py",
+        )
+        assert _rule_ids(findings) == ["DET002", "DET002", "DET002"]
+
+    def test_det002_allows_derived_seed_generator(self):
+        findings, _ = _check(
+            """\
+            import numpy as np
+            from repro.sim.rng import derive_seed
+
+            def f(seed):
+                return np.random.default_rng(derive_seed(seed, "walk"))
+            """,
+            module="workloads/example.py",
+        )
+        assert findings == []
+
+    def test_det003_flags_order_sensitive_set_iteration(self):
+        findings, _ = _check(
+            """\
+            def f(names: set):
+                for name in names:
+                    print(name)
+                return list(names), ",".join(names)
+            """,
+            module="mem/example.py",
+        )
+        assert _rule_ids(findings) == ["DET003", "DET003", "DET003"]
+
+    def test_det003_allows_sorted_and_order_insensitive_sinks(self):
+        findings, _ = _check(
+            """\
+            def f(names: set):
+                for name in sorted(names):
+                    print(name)
+                return len(names), sum(n for n in names), sorted(names)
+            """,
+            module="mem/example.py",
+        )
+        assert findings == []
+
+
+class TestDigestAndStoreRules:
+    def test_dig101_flags_post_construction_setattr(self):
+        findings, _ = _check(
+            """\
+            class Job:
+                def __post_init__(self) -> None:
+                    object.__setattr__(self, "digest", "ok")
+
+                def rewrite(self) -> None:
+                    object.__setattr__(self, "digest", "bad")
+            """,
+            module="exec/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG101"]
+        assert "rewrite" in findings[0].message
+
+    def test_dig102_flags_half_zeroed_replicate_key(self):
+        findings, _ = _check(
+            """\
+            def replicate_key(payload: dict) -> dict:
+                payload["workload"]["seed"] = 0
+                return payload
+            """,
+            module="exec/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG102"]
+
+    def test_dig102_allows_both_slots_zeroed(self):
+        findings, _ = _check(
+            """\
+            def replicate_key(payload: dict) -> dict:
+                payload["workload"]["seed"] = 0
+                payload["config"]["seed"] = 0
+                return payload
+            """,
+            module="exec/example.py",
+        )
+        assert findings == []
+
+    def test_sto201_flags_direct_store_access(self):
+        findings, _ = _check(
+            """\
+            import sqlite3
+            from pathlib import Path
+
+            def peek(d: Path) -> str:
+                sqlite3.connect(d / "results.db")
+                return (d / "results.jsonl").read_text()
+            """,
+            module="figures/example.py",
+        )
+        assert _rule_ids(findings) == ["STO201", "STO201"]
+
+    def test_sto201_exempts_backend_layer(self):
+        findings, _ = _check(
+            """\
+            import sqlite3
+
+            def connect(d: object) -> object:
+                return sqlite3.connect(d / "results.db")
+            """,
+            module="exec/backends/example.py",
+        )
+        assert findings == []
+
+    def test_sto202_flags_unbalanced_flock(self):
+        findings, _ = _check(
+            """\
+            import fcntl
+
+            def locked(fh: object) -> None:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+                fh.write("x")
+            """,
+            module="exec/example.py",
+        )
+        assert _rule_ids(findings) == ["STO202"]
+
+    def test_sto202_allows_try_finally_release(self):
+        findings, _ = _check(
+            """\
+            import fcntl
+
+            def locked(fh: object) -> None:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+                try:
+                    fh.write("x")
+                finally:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+            """,
+            module="exec/example.py",
+        )
+        assert findings == []
+
+
+class TestObsAndGatingRules:
+    def test_obs301_flags_undeclared_metric_name(self):
+        findings, _ = _check(
+            """\
+            def wire(stats):
+                return stats.counter("tx.bogus_metric")
+            """,
+            module="htm/example.py",
+        )
+        assert _rule_ids(findings) == ["OBS301"]
+
+    def test_obs301_allows_declared_and_prefixed_names(self):
+        findings, _ = _check(
+            """\
+            def wire(stats, prefix):
+                a = stats.counter("tx.commits")
+                b = stats.counter(f"{prefix}.fills")
+                c = stats.histogram("gating.window")
+                return a, b, c
+            """,
+            module="htm/example.py",
+        )
+        assert findings == []
+
+    def test_obs302_flags_null_recorder_gap(self):
+        findings, _ = _check(
+            """\
+            class NullRecorder:
+                def count(self, name: str, value: int = 1) -> None:
+                    pass
+
+            class ObsRecorder:
+                def count(self, name: str, value: int = 1) -> None:
+                    self._bump(name, value)
+
+                def span(self, name: str) -> object:
+                    return object()
+            """,
+            module="obs/example.py",
+        )
+        assert _rule_ids(findings) == ["OBS302"]
+        assert "span" in findings[0].message
+
+    def test_obs303_flags_span_outside_with(self):
+        findings, _ = _check(
+            """\
+            def f(recorder: object) -> None:
+                recorder.span("work")
+                with recorder.span("ok"):
+                    pass
+            """,
+            module="exec/example.py",
+        )
+        assert _rule_ids(findings) == ["OBS303"]
+
+    def test_gat401_flags_unguarded_window_query(self):
+        findings, _ = _check(
+            """\
+            def arm(self, entry):
+                return self._cm.gating_window_ex(entry.abort_count, 0, 0)
+            """,
+            module="gating/example.py",
+        )
+        assert _rule_ids(findings) == ["GAT401"]
+
+    def test_gat401_allows_guarded_query(self):
+        findings, _ = _check(
+            """\
+            def arm(self, entry):
+                assert entry.abort_count >= 1
+                return self._cm.gating_window_ex(entry.abort_count, 0, 0)
+            """,
+            module="gating/example.py",
+        )
+        assert findings == []
+
+    def test_gat401_exempts_definition_layer(self):
+        findings, _ = _check(
+            """\
+            def gating_window_ex(self, aborts, renews, momentum):
+                return self.gating_window(aborts, renews)
+            """,
+            module="cm/example.py",
+        )
+        assert findings == []
+
+
+class TestTypedCoreRule:
+    def test_typ501_flags_unannotated_def_in_typed_core(self):
+        findings, _ = _check(
+            "def f(x):\n    return x\n", module="exec/example.py"
+        )
+        assert _rule_ids(findings) == ["TYP501"]
+        assert "x" in findings[0].message and "return" in findings[0].message
+
+    def test_typ501_skips_self_and_core_packages(self):
+        findings, _ = _check(
+            """\
+            class C:
+                def method(self, x: int) -> int:
+                    return x
+            """,
+            module="exec/example.py",
+        )
+        assert findings == []
+        findings, _ = _check(
+            "def f(x):\n    return x\n", module="sim/example.py"
+        )
+        assert findings == []
+
+
+class TestCheckCli:
+    def test_cli_json_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        exit_code = main(["check", "--json", str(tmp_path / "src")])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["by_rule"] == {"DET001": 1}
+        assert payload["schema"] == 1
+
+    def test_cli_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET003" in out and "set-iteration" in out
+
+    def test_tree_is_clean_at_head(self):
+        """The meta-gate: `repro check` over the real tree reports zero."""
+        root = Path(__file__).resolve().parents[1]
+        report = run_check(
+            [root / "src", root / "tests", root / "scripts"]
+        )
+        assert report.parse_errors == []
+        assert report.findings == [], render_json(report)

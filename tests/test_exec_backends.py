@@ -247,6 +247,8 @@ class TestMigration:
         # record-for-record identical => the JSONL lines are byte-stable
         for record in original:
             line = json.dumps(record, separators=(",", ":"))
+            # repro: allow[STO201] — asserts the on-disk JSONL bytes,
+            # which only a raw read can see
             assert line in (tmp_path / "c" / "results.jsonl").read_text()
 
     def test_merge_is_idempotent(self, tmp_path, seeded_results):
