@@ -439,6 +439,170 @@ class ReplicateSeedSlotsRule(Rule):
         return None
 
 
+#: receiver names that denote pack-shared warm state (the RunReuse
+#: object threaded through execute_pack -> run_workload)
+_REUSE_RECEIVERS = frozenset({"reuse", "_reuse", "run_reuse"})
+
+#: in-place mutators: calling one on a pack-cached value changes state
+#: a sibling pack member will observe
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "update", "setdefault", "clear",
+    "pop", "popitem", "remove", "discard", "add", "sort", "reverse",
+})
+
+
+def _pack_cache_attr(node: ast.AST, reuse_classes: frozenset[str]) -> bool:
+    """Is ``node`` an attribute of a pack-shared reuse object?
+
+    Matches ``reuse.<attr>`` (any receiver named like a reuse handle)
+    and ``self.<attr>`` inside a class whose name marks it as the
+    pack-sharing carrier (``*Reuse*``).
+    """
+    if not isinstance(node, ast.Attribute):
+        return False
+    value = node.value
+    if isinstance(value, ast.Name):
+        if value.id in _REUSE_RECEIVERS:
+            return True
+        if value.id == "self" and reuse_classes:
+            return True
+    return False
+
+
+@register
+class PackSharedCacheRule(Rule):
+    id = "DIG103"
+    name = "pack-shared-cache"
+    rationale = (
+        "state cached across pack members (RunReuse) must be "
+        "seed-invariant and immutable after prep; a seed-dependent "
+        "value under a seed-free key, or an in-place mutation of a "
+        "cached value, leaks one member's run into its siblings"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.module:
+            return
+        for function in _functions(ctx.tree):
+            reuse_classes = self._enclosing_reuse_classes(ctx, function)
+            loaded = self._cache_loaded_names(function, reuse_classes)
+            bindings = self._name_bindings(function)
+            for node in ast.walk(function):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        yield from self._check_store(
+                            ctx, node, target, reuse_classes, bindings
+                        )
+                        # instance.attr = ... on a cache-loaded value
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id in loaded):
+                            yield ctx.finding(
+                                self, node,
+                                f"attribute write on "
+                                f"`{target.value.id}` (loaded from a "
+                                f"pack-shared cache): cached values are "
+                                f"immutable after prep — build a new "
+                                f"value (dataclasses.replace) instead",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (isinstance(func, ast.Attribute)
+                            and func.attr in _MUTATOR_METHODS
+                            and isinstance(func.value, ast.Name)
+                            and func.value.id in loaded):
+                        yield ctx.finding(
+                            self, node,
+                            f"`{func.value.id}.{func.attr}()` mutates a "
+                            f"value loaded from a pack-shared cache; "
+                            f"cached state must be immutable after prep "
+                            f"(copy it or use dataclasses.replace)",
+                        )
+
+    def _check_store(
+        self,
+        ctx: ModuleContext,
+        node: ast.Assign,
+        target: ast.AST,
+        reuse_classes: frozenset[str],
+        bindings: dict[str, list[ast.AST]],
+    ) -> Iterator[Finding]:
+        """Flag ``reuse.<cache>[key] = <seed-dependent value>``."""
+        if not isinstance(target, ast.Subscript):
+            return
+        if not _pack_cache_attr(target.value, reuse_classes):
+            return
+        key = target.slice
+        key_mentions_seed = _mentions(key, "seed")
+        if not key_mentions_seed and isinstance(key, ast.Name):
+            # one level of name tracing: `key = (..., spec.seed)` above
+            key_mentions_seed = any(
+                _mentions(bound, "seed")
+                for bound in bindings.get(key.id, [])
+            )
+        if _mentions(node.value, "seed") and not key_mentions_seed:
+            yield ctx.finding(
+                self, node,
+                "seed-dependent value stored in a pack-shared cache "
+                "under a seed-free key: siblings of this pack member "
+                "would replay its seed; cache the seed-invariant part "
+                "and re-stamp the seed on read",
+            )
+
+    @staticmethod
+    def _name_bindings(function: ast.AST) -> dict[str, list[ast.AST]]:
+        """name -> every expression assigned to it in ``function``."""
+        bindings: dict[str, list[ast.AST]] = {}
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bindings.setdefault(target.id, []).append(node.value)
+        return bindings
+
+    @staticmethod
+    def _enclosing_reuse_classes(
+        ctx: ModuleContext, function: ast.AST
+    ) -> frozenset[str]:
+        parents = ctx.parents
+        names: set[str] = set()
+        current = parents.get(function)
+        while current is not None:
+            if isinstance(current, ast.ClassDef) and "Reuse" in current.name:
+                names.add(current.name)
+            current = parents.get(current)
+        return frozenset(names)
+
+    @staticmethod
+    def _cache_loaded_names(
+        function: ast.AST, reuse_classes: frozenset[str]
+    ) -> frozenset[str]:
+        """Names bound from a pack-cache subscript or ``.get()`` load.
+
+        A later re-binding to a fresh value (``x = replace(x, ...)``)
+        is not tracked — the rule errs toward flagging, and reviewed
+        exceptions carry a ``# repro: allow[pack-shared-cache]``.
+        """
+        loaded: set[str] = set()
+        for node in ast.walk(function):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Subscript) and _pack_cache_attr(
+                value.value, reuse_classes
+            ):
+                loaded.add(target.id)
+            elif (isinstance(value, ast.Call)
+                  and isinstance(value.func, ast.Attribute)
+                  and value.func.attr == "get"
+                  and _pack_cache_attr(value.func.value, reuse_classes)):
+                loaded.add(target.id)
+        return frozenset(loaded)
+
+
 # ----------------------------------------------------------------------
 # STO — store discipline
 # ----------------------------------------------------------------------
@@ -609,6 +773,94 @@ class UndeclaredMetricRule(Rule):
         from ..metrics import DECLARED_METRICS
 
         return DECLARED_METRICS
+
+
+def _bumped_metric_patterns(tree: ast.Module) -> Iterator[str]:
+    """Every statically-resolvable metric name bumped in ``tree``.
+
+    The mirror image of OBS301's call-site filter: counter/histogram/
+    bump on a stats receiver, count on an obs receiver, first argument
+    normalized with f-string interpolations collapsed to ``*``.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        root, attr = _call_root_and_attr(node.func)
+        if attr not in _METRIC_METHODS or root is None:
+            continue
+        if attr == "count":
+            if root not in _OBS_RECEIVERS:
+                continue
+        elif root not in _STATS_RECEIVERS:
+            continue
+        pattern = _metric_name_pattern(node.args[0])
+        if pattern is not None:
+            yield pattern
+
+
+@register
+class DeadMetricDeclarationRule(Rule):
+    id = "OBS304"
+    name = "dead-metric-declaration"
+    rationale = (
+        "OBS301's inverse: a DECLARED_METRICS entry no call site bumps "
+        "is a stale catalog line — docs and dashboards advertise a "
+        "metric that never appears in any run"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        # Project-level rule: runs once, on the catalog module itself,
+        # and scans its sibling package sources for bump sites.
+        if ctx.module != ("metrics",):
+            return
+        declarations = self._declaration_nodes(ctx.tree)
+        if not declarations:
+            return
+        bumped = set(_bumped_metric_patterns(ctx.tree))
+        package_root = ctx.path.parent
+        if package_root.is_dir():
+            for sibling in sorted(package_root.rglob("*.py")):
+                if sibling == ctx.path:
+                    continue
+                if "__pycache__" in sibling.parts:
+                    continue
+                try:
+                    tree = ast.parse(sibling.read_text(encoding="utf-8"))
+                except (OSError, SyntaxError):
+                    continue  # unreadable siblings are PARSE findings
+                bumped.update(_bumped_metric_patterns(tree))
+        for decl, node in declarations:
+            if not any(fnmatch(pattern, decl) or pattern == decl
+                       for pattern in bumped):
+                yield ctx.finding(
+                    self, node,
+                    f"declared metric {decl!r} is bumped by no call site "
+                    f"in the package; remove the declaration or wire the "
+                    f"metric",
+                )
+
+    @staticmethod
+    def _declaration_nodes(
+        tree: ast.Module,
+    ) -> list[tuple[str, ast.Constant]]:
+        """The string constants inside the DECLARED_METRICS literal."""
+        for node in tree.body:
+            target: ast.AST | None = None
+            if isinstance(node, ast.AnnAssign):
+                target = node.target
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            if not (isinstance(target, ast.Name)
+                    and target.id == "DECLARED_METRICS"
+                    and node.value is not None):
+                continue
+            return [
+                (constant.value, constant)
+                for constant in ast.walk(node.value)
+                if isinstance(constant, ast.Constant)
+                and isinstance(constant.value, str)
+            ]
+        return []
 
 
 @register

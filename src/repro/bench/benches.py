@@ -33,6 +33,14 @@ Benchmarks
     Seed replicates of one spec through the pool executor — the
     replicate-pack dispatch path (one warmed process serving a whole
     seed family instead of one round-trip per job).
+``bench_replicates_marginal``
+    The pack warm path in isolation: one in-process ``execute_pack``
+    over a seed family, reporting the *marginal*-seed cost (members
+    served by ``Machine.reset`` and the shared prep cache) as the
+    headline rate, with the first-seed (cold build) cost in ``meta``.
+    This is the number the pack-shared warm state work moves: the
+    first seed pays construction, every further seed pays only the
+    simulation.
 ``bench_e2e_suite``
     The ``smoke`` scenario suite end-to-end on a cold cache (serial
     executor, no result store) — simulations per second as a user
@@ -375,6 +383,90 @@ def bench_replicates(
 
 
 # ----------------------------------------------------------------------
+# meso: marginal-seed cost inside one in-process replicate pack
+# ----------------------------------------------------------------------
+def bench_replicates_marginal(
+    check: bool = False, repeats: int | None = None, warmup: int | None = None
+) -> BenchResult:
+    import math
+
+    from ..exec.jobs import execute_pack
+    from ..scenarios.spec import ScenarioSpec
+
+    replicates = 4 if check else 16
+    if repeats is None:
+        repeats = 2 if check else 5
+    if warmup is None:
+        warmup = 1
+    if repeats < 1:
+        raise BenchmarkError("bench_replicates_marginal: repeats must be >= 1")
+
+    def run_pack():
+        jobs = [
+            ScenarioSpec(
+                workload="counter", scale="tiny", threads=2, seed=seed
+            ).to_job()
+            for seed in range(replicates)
+        ]
+        result = execute_pack(jobs)
+        # Tolerate both return shapes so this benchmark can also be
+        # dropped into an older checkout to capture a "before" session
+        # (execute_pack used to return the outcome list alone).
+        outcomes = result[0] if isinstance(result, tuple) else result
+        if len(outcomes) != replicates or any(o.error for o in outcomes):
+            raise BenchmarkError(
+                "bench_replicates_marginal expected "
+                f"{replicates} clean outcomes"
+            )
+        return outcomes
+
+    for _ in range(warmup):
+        run_pack()
+
+    # Custom timing loop (not run_timed): the measured quantity is the
+    # per-member marginal cost *excluding* the pack's first member, and
+    # execute_pack already times each member individually — so one pack
+    # per repetition yields both numbers, best-of across repetitions.
+    first_samples: list[float] = []
+    marginal_samples: list[float] = []
+    for _ in range(repeats):
+        outcomes = run_pack()
+        first_samples.append(outcomes[0].seconds)
+        marginal_samples.append(
+            math.fsum(o.seconds for o in outcomes[1:]) / (replicates - 1)
+        )
+    best = min(marginal_samples)
+    mean = sum(marginal_samples) / len(marginal_samples)
+    if len(marginal_samples) > 1:
+        var = sum((s - mean) ** 2 for s in marginal_samples) / (
+            len(marginal_samples) - 1
+        )
+    else:
+        var = 0.0
+    if best <= 0.0:
+        best = 1e-9
+    return BenchResult(
+        name="bench_replicates_marginal",
+        unit="sims",
+        units_per_repeat=1,
+        repeats=repeats,
+        warmup=warmup,
+        best_seconds=best,
+        mean_seconds=mean,
+        stddev_seconds=math.sqrt(var),
+        units_per_second=1.0 / best,
+        meta={
+            "replicates": replicates,
+            "first_seed_best_seconds": min(first_samples),
+            "first_seed_mean_seconds": (
+                sum(first_samples) / len(first_samples)
+            ),
+            "check": check,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # meso: the smoke suite, end to end, cold cache
 # ----------------------------------------------------------------------
 def bench_e2e_suite(
@@ -433,6 +525,7 @@ BENCHMARKS: dict[str, Callable[..., BenchResult]] = {
     "bench_cache": bench_cache,
     "bench_directory": bench_directory,
     "bench_replicates": bench_replicates,
+    "bench_replicates_marginal": bench_replicates_marginal,
     "bench_e2e_suite": bench_e2e_suite,
 }
 

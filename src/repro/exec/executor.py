@@ -56,6 +56,7 @@ from ..obs import get_recorder
 from .jobs import (
     ExecResult,
     PackMemberOutcome,
+    PackStats,
     RunJob,
     execute_job,
     execute_pack,
@@ -109,17 +110,17 @@ def _timed_execute(
 
 def _timed_execute_pack(
     jobs: list[RunJob], profile: bool = False
-) -> tuple[list[PackMemberOutcome], float, int]:
+) -> tuple[list[PackMemberOutcome], PackStats, float, int]:
     """Pool entry point for a replicate pack: one dispatch, N jobs.
 
-    Returns ``(per-member outcomes, pack wall seconds, worker pid)``;
-    member failures are already folded into their outcomes (see
-    :func:`repro.exec.jobs.execute_pack`), so this call only raises on
-    infrastructure-level breakage.
+    Returns ``(per-member outcomes, pack amortization stats, pack wall
+    seconds, worker pid)``; member failures are already folded into
+    their outcomes (see :func:`repro.exec.jobs.execute_pack`), so this
+    call only raises on infrastructure-level breakage.
     """
     started = time.perf_counter()
-    outcomes = execute_pack(jobs, profile)
-    return outcomes, time.perf_counter() - started, os.getpid()
+    outcomes, stats = execute_pack(jobs, profile)
+    return outcomes, stats, time.perf_counter() - started, os.getpid()
 
 
 def _span_counters(result: ExecResult) -> dict[str, float]:
@@ -496,6 +497,7 @@ class Executor:
         self,
         unit: list[tuple[str, RunJob]],
         outcomes: list[PackMemberOutcome],
+        pack_stats: PackStats,
         pack_seconds: float,
         pid: int,
         results: dict[str, ExecResult],
@@ -536,7 +538,18 @@ class Executor:
                 workload=unit[0][1].spec.name,
                 worker_pid=pid,
                 failed=sum(1 for o in outcomes if o.result is None),
+                reset_reuses=pack_stats.reset_reuses,
+                shared_prep_hits=pack_stats.shared_prep_hits,
             )
+            # run-level amortization tallies: how many pack members
+            # were served by a machine reset / a shared workload build
+            # instead of a from-scratch rebuild
+            if pack_stats.reset_reuses:
+                recorder.count("pack.reset_reuses", pack_stats.reset_reuses)
+            if pack_stats.shared_prep_hits:
+                recorder.count(
+                    "pack.shared_prep_hits", pack_stats.shared_prep_hits
+                )
         return run_seconds
 
     def _run_pool(
@@ -596,10 +609,11 @@ class Executor:
                             )
                         continue
                     if len(unit) >= MIN_PACK_SIZE:
-                        outcomes, pack_seconds, pid = payload
+                        outcomes, pack_stats, pack_seconds, pid = payload
                         run_seconds += self._land_pack(
-                            unit, outcomes, pack_seconds, pid, results,
-                            recorder, failures, progress_state, len(pending),
+                            unit, outcomes, pack_stats, pack_seconds, pid,
+                            results, recorder, failures, progress_state,
+                            len(pending),
                         )
                     else:
                         digest, job = unit[0]

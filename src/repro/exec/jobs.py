@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -56,7 +57,7 @@ from ..power.model import PowerModel
 from .serialize import canonical_json
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
-    from ..harness.runner import RunResult, WorkloadSpec
+    from ..harness.runner import RunResult, RunReuse, WorkloadSpec
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -66,8 +67,21 @@ __all__ = [
     "replicate_key",
     "ReplicatePack",
     "PackMemberOutcome",
+    "PackStats",
     "execute_pack",
+    "reset_enabled_from_env",
 ]
+
+#: environment switch disabling machine reset-reuse inside replicate
+#: packs (mirror of ``REPRO_NO_PACKS``); any non-empty value other than
+#: ``0``/``false``/``no`` disables — members then rebuild per seed
+NO_RESET_ENV = "REPRO_NO_RESET"
+
+
+def reset_enabled_from_env() -> bool:
+    """Pack reset-reuse default: on unless ``REPRO_NO_RESET`` is set."""
+    value = os.environ.get(NO_RESET_ENV, "").strip().lower()
+    return value in ("", "0", "false", "no")
 
 #: Bump whenever job semantics or the result encoding change in a way
 #: that invalidates previously cached results; the store skips records
@@ -172,18 +186,22 @@ class ExecResult(TxMetricsMixin):
         )
 
 
-def execute_job(job: RunJob) -> ExecResult:
+def execute_job(job: RunJob, reuse: "RunReuse | None" = None) -> ExecResult:
     """Worker entry point: run one job in the current process.
 
     Each invocation wires a fresh deterministic engine/machine from the
     job's spec and config, so executing in a pool worker produces
     bit-identical numbers to executing inline (the engine has no global
-    state and every seed travels inside the job).
+    state and every seed travels inside the job).  With ``reuse`` (the
+    pack warm path), the machine is reset instead of rebuilt — pinned
+    bit-identical by :meth:`repro.htm.machine.Machine.reset`'s contract
+    and the rebuild-vs-reset parity tests.
     """
     from ..harness.runner import run_workload  # lazy: avoids import cycle
 
     result = run_workload(
-        job.spec, job.config, power_model=job.power, validate=job.validate
+        job.spec, job.config, power_model=job.power, validate=job.validate,
+        reuse=reuse,
     )
     return ExecResult.from_run_result(result, job.power)
 
@@ -243,19 +261,36 @@ class PackMemberOutcome:
     profile_rows: list[tuple[str, int, float, float]] | None = None
 
 
+@dataclass(frozen=True)
+class PackStats:
+    """Amortization tallies of one pack execution (obs counters)."""
+
+    #: members served by :meth:`Machine.reset` instead of a rebuild
+    reset_reuses: int = 0
+    #: members whose workload build came from the shared prep cache
+    shared_prep_hits: int = 0
+
+
 def execute_pack(
     jobs: Sequence[RunJob], profile: bool = False
-) -> list[PackMemberOutcome]:
+) -> tuple[list[PackMemberOutcome], PackStats]:
     """Worker entry point: run a seed family sequentially in one process.
 
     Each member runs through the exact same :func:`execute_job` path a
-    standalone dispatch uses — same fresh engine, same seeds travelling
-    inside the job — so pack results are bit-identical to per-process
-    results by construction; the pack only amortizes process/dispatch
-    overhead and keeps caches warm across the family.  Per-member
-    exceptions are caught so one bad seed cannot take down the rest of
-    the family.
+    standalone dispatch uses — same seeds travelling inside the job —
+    so pack results are bit-identical to per-process results by
+    construction.  The pack amortizes process/dispatch overhead plus,
+    via a shared :class:`~repro.harness.runner.RunReuse` (unless
+    ``REPRO_NO_RESET`` is set), the per-seed constant factor: the
+    machine topology is built once and reset between members, and
+    seed-invariant workload preparation is cached across the family.
+    Per-member exceptions are caught so one bad seed cannot take down
+    the rest of the family; a failure also drops the cached machine
+    (it may be mid-run), so the next member rebuilds from scratch.
     """
+    from ..harness.runner import RunReuse  # lazy: avoids import cycle
+
+    reuse = RunReuse() if reset_enabled_from_env() else None
     outcomes: list[PackMemberOutcome] = []
     for job in jobs:
         started = time.perf_counter()
@@ -263,10 +298,12 @@ def execute_pack(
             if profile:
                 from ..obs.profile import profile_call
 
-                result, rows = profile_call(execute_job, job)
+                result, rows = profile_call(execute_job, job, reuse)
             else:
-                result, rows = execute_job(job), None
+                result, rows = execute_job(job, reuse), None
         except Exception as exc:
+            if reuse is not None:
+                reuse.discard_machine()
             outcomes.append(
                 PackMemberOutcome(
                     result=None,
@@ -283,4 +320,8 @@ def execute_pack(
                     profile_rows=rows,
                 )
             )
-    return outcomes
+    stats = PackStats(
+        reset_reuses=reuse.machine_resets if reuse is not None else 0,
+        shared_prep_hits=reuse.prep_hits if reuse is not None else 0,
+    )
+    return outcomes, stats

@@ -9,7 +9,7 @@ with the paper's accounting (cross-checked interval vs direct).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..config import SystemConfig
@@ -21,10 +21,12 @@ from ..power.model import PowerModel
 from ..sim.timeline import verify_tiling
 from ..sim.trace import NullTrace
 from ..workloads.base import WorkloadInstance
-from ..workloads.registry import build_workload
+from ..workloads.registry import build_workload, workload_seed_invariant
 from .validation import check_serializability
 
-__all__ = ["WorkloadSpec", "workload", "RunResult", "run_workload"]
+__all__ = [
+    "WorkloadSpec", "workload", "RunResult", "RunReuse", "run_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -85,8 +87,46 @@ class RunResult(TxMetricsMixin):
         return self.machine_result.end_cycle
 
 
+class RunReuse:
+    """Warm state shared across the runs of one replicate pack.
+
+    Holds (a) one wired :class:`~repro.htm.machine.Machine`, reset
+    between runs instead of rebuilt — keyed by the seed-zeroed config
+    and the validation switch, so only true seed replicates ever share
+    it — and (b) a prep cache of built :class:`WorkloadInstance` values
+    for workloads whose builds are seed-invariant (see
+    :func:`repro.workloads.registry.register_workload`).
+
+    PACK-SHARING CONTRACT: everything cached here must be independent
+    of the seed slots and immutable after preparation (cache keys
+    include every seed-relevant input; cached instances are re-stamped,
+    never mutated).  ``repro check``'s DIG103 rule polices new caches
+    against this contract.
+
+    Reuse counters (``machine_resets``, ``prep_hits``) feed the
+    ``pack.reset_reuses`` / ``pack.shared_prep_hits`` obs metrics.
+    """
+
+    def __init__(self) -> None:
+        self._machine: Machine | None = None
+        self._machine_key: tuple[SystemConfig, bool] | None = None
+        # (name, scale, overrides, num_threads) -> seed-invariant build
+        self._prep: dict[
+            tuple[str, str, tuple[tuple[str, Any], ...], int], WorkloadInstance
+        ] = {}
+        self.machine_resets = 0
+        self.prep_hits = 0
+
+    def discard_machine(self) -> None:
+        """Drop the cached machine (a failed run leaves it mid-state)."""
+        self._machine = None
+        self._machine_key = None
+
+
 def _resolve_instance(
-    source: WorkloadInstance | WorkloadSpec | str, config: SystemConfig
+    source: WorkloadInstance | WorkloadSpec | str,
+    config: SystemConfig,
+    reuse: RunReuse | None = None,
 ) -> WorkloadInstance:
     if isinstance(source, WorkloadInstance):
         if source.num_threads != config.num_procs:
@@ -95,10 +135,26 @@ def _resolve_instance(
                 f"on {config.num_procs} processors"
             )
         return source
-    if isinstance(source, WorkloadSpec):
-        return source.build(config.num_procs)
     if isinstance(source, str):
-        return WorkloadSpec(source).build(config.num_procs)
+        source = WorkloadSpec(source)
+    if isinstance(source, WorkloadSpec):
+        if reuse is not None and workload_seed_invariant(source.name):
+            # Seed-invariant build: share one construction across the
+            # pack.  The key carries every non-seed build input; the
+            # cached instance is re-stamped with the member's seed, not
+            # mutated (instances are documented reusable — programs are
+            # pure generator factories and the image is copied out).
+            key = (source.name, source.scale, source.overrides,
+                   config.num_procs)
+            instance = reuse._prep.get(key)
+            if instance is None:
+                reuse._prep[key] = instance = source.build(config.num_procs)
+            else:
+                reuse.prep_hits += 1
+            if instance.seed != source.seed:
+                instance = replace(instance, seed=source.seed)
+            return instance
+        return source.build(config.num_procs)
     raise HarnessError(f"cannot interpret workload source {source!r}")
 
 
@@ -109,6 +165,7 @@ def run_workload(
     trace: NullTrace | None = None,
     validate: bool = True,
     check_serial: bool = False,
+    reuse: RunReuse | None = None,
 ) -> RunResult:
     """Execute one workload under one configuration.
 
@@ -120,15 +177,39 @@ def run_workload(
     check_serial:
         Record per-transaction read/write logs and verify TID-order
         serializability (Invariant 1; costs memory — used by tests).
+    reuse:
+        Optional :class:`RunReuse` carrying pack-shared warm state.
+        When the cached machine's topology matches (config equal up to
+        ``seed``, same validation mode), it is reset in place instead
+        of rebuilt — bit-identical by the reset contract
+        (:meth:`repro.htm.machine.Machine.reset`).  Ignored when a
+        trace is requested (a machine binds its trace at construction).
     """
-    instance = _resolve_instance(source, config)
-    machine = Machine(
-        config,
-        instance.programs,
-        initial_memory=instance.initial_memory,
-        trace=trace,
-        validation_mode=check_serial,
-    )
+    instance = _resolve_instance(source, config, reuse)
+    machine: Machine | None = None
+    if reuse is not None and trace is None:
+        machine_key = (replace(config, seed=0), check_serial)
+        cached = reuse._machine
+        if cached is not None and reuse._machine_key == machine_key:
+            cached.reset(
+                config,
+                instance.programs,
+                initial_memory=instance.initial_memory,
+                validation_mode=check_serial,
+            )
+            reuse.machine_resets += 1
+            machine = cached
+    if machine is None:
+        machine = Machine(
+            config,
+            instance.programs,
+            initial_memory=instance.initial_memory,
+            trace=trace,
+            validation_mode=check_serial,
+        )
+        if reuse is not None and trace is None:
+            reuse._machine = machine
+            reuse._machine_key = (replace(config, seed=0), check_serial)
     mresult = machine.run()
 
     window = (mresult.parallel_start, mresult.parallel_end)

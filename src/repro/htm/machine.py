@@ -22,7 +22,7 @@ then finalizes the timelines and returns a :class:`MachineResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from ..cm.base import ContentionManager
@@ -182,6 +182,72 @@ class Machine:
         self.parallel_start: int | None = None
         self.parallel_end: int | None = None
         self.commit_log: list[CommittedTx] = []
+
+    # ------------------------------------------------------------------
+    # reset-not-rebuild (pack-shared warm state)
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        config: SystemConfig,
+        programs: Sequence[ThreadProgram],
+        program_params: dict[str, Any] | None = None,
+        initial_memory: dict[int, int] | None = None,
+        validation_mode: bool = False,
+    ) -> None:
+        """Restore pristine state for a new run without rebuilding.
+
+        The replicate-pack warm path: the topology (engine, bus, memory,
+        directories, gating units, processors, caches, stats handle
+        bindings) is reused; everything mutable is returned to its
+        just-constructed state and the seed-dependent pieces (contention
+        manager, per-processor tx seed prefixes, timelines, thread RNGs
+        drawn in :meth:`run`) are re-derived from ``config.seed``.  A
+        reset machine is pinned bit-identical to a freshly constructed
+        one per (config, programs) by the rebuild-vs-reset parity tests
+        and the golden captures.
+
+        Contract: ``config`` must describe the *same topology* as the
+        construction config — only ``seed`` may differ (enforced here).
+        The trace bound at construction stays; callers wanting tracing
+        must rebuild.  Resetting zeroes the shared :class:`StatsRegistry`,
+        so counters of a previous run's ``MachineResult`` must be copied
+        out before calling this.
+        """
+        if len(programs) != config.num_procs:
+            raise ConfigError(
+                f"{config.num_procs} processors but {len(programs)} thread "
+                "programs; they must match one-to-one"
+            )
+        if replace(config, seed=0) != replace(self.config, seed=0):
+            raise ConfigError(
+                "Machine.reset() requires a config identical to the "
+                "construction config up to `seed`; rebuild for a new topology"
+            )
+        self.config = config
+        self.validation_mode = validation_mode
+        self.engine.reset()
+        self.stats.reset()
+        self.memory.reset(initial_memory or {}, record_versions=validation_mode)
+        self.bus.reset()
+        self.vendor.reset()
+        self.cm = create_cm(config.gating, config.seed)
+        self._timelines = [
+            StateTimeline(ProcState.RUN) for _ in range(config.num_procs)
+        ]
+        for directory in self.dirs:
+            directory.reset()
+        for unit in self.gating_units:
+            unit.reset(self.cm, config)
+        for proc in self.procs:
+            proc.reset()
+        self._programs = list(programs)
+        self._program_params = dict(program_params or {})
+        self._barriers.clear()
+        self._finished = 0
+        self._raise_on_complete = False
+        self.parallel_start = None
+        self.parallel_end = None
+        self.commit_log = []
 
     # ------------------------------------------------------------------
     # component access

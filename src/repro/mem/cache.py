@@ -148,6 +148,18 @@ class L1Cache:
         self._c_fills.value += 1
         return victim_line
 
+    def reset(self) -> None:
+        """Drop all resident lines, returning to the just-built state.
+
+        The set list itself (the measured construction cost for a 64 KB
+        geometry) is kept; only its per-set dicts are cleared.  Counter
+        handles stay bound — the registry is reset separately as part of
+        the :meth:`repro.htm.machine.Machine.reset` contract.
+        """
+        for set_ in self._sets:
+            set_.clear()
+        self._use_clock = 0
+
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` (coherence invalidation); True if it was resident."""
         set_ = self._sets[line & self._set_mask]

@@ -38,11 +38,12 @@ it has been turned on by some other directory").
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Iterable
 
 from ..config import DirectoryConfig
 from ..errors import ProtocolError
-from ..sim.engine import Engine
+from ..sim.engine import Engine, Event
 from ..sim.stats import StatsRegistry
 from ..sim.trace import NullTrace
 from .address import AddressMap
@@ -121,6 +122,19 @@ class Directory:
         self._machine = machine
         self.gating = gating
 
+    def reset(self) -> None:
+        """Forget all sharer/owner/commit state (machine-reset path).
+
+        The attached machine and gating unit survive; the gating unit's
+        own table is reset by its owner.  Counter and histogram handles
+        stay bound.
+        """
+        self._sharers.clear()
+        self._owner.clear()
+        self.marked.clear()
+        self.last_committed_tid = -1
+        self._busy_until = 0
+
     # ------------------------------------------------------------------
     # sharer bookkeeping
     # ------------------------------------------------------------------
@@ -171,11 +185,26 @@ class Directory:
             gating.notify_access(req.proc, req.sent_at)
         self._c_fills.value += 1
 
-        now = self._engine.now
+        engine = self._engine
+        now = engine.now
         busy = self._busy_until
         start = busy if busy > now else now
-        self._busy_until = start + self._latency
-        self._engine.schedule_at(self._busy_until, self._fill_serviced, req)
+        self._busy_until = done = start + self._latency
+        # Engine.schedule_at inlined (see Bus.send_ctrl): ``done`` is
+        # >= now by construction, so the past-check is redundant.
+        seq = engine._seq
+        engine._seq = seq + 1
+        pool = engine._pool
+        if pool:
+            event = pool.pop()
+            event[0] = done
+            event[1] = seq
+            event[2] = self._fill_serviced
+            event[3] = (req,)
+            event.cancelled = False
+        else:
+            event = Event(done, seq, self._fill_serviced, (req,))
+        heappush(engine._queue, event)
 
     def _fill_serviced(self, req: FillRequest) -> None:
         # Sharer registration happens at service time, before the data
@@ -218,11 +247,26 @@ class Directory:
         self._h_lines_per_flush.record(num_lines)
 
         service = self._latency + num_lines * self._commit_line_cycles
-        now = self._engine.now
+        engine = self._engine
+        now = engine.now
         busy = self._busy_until
         start = busy if busy > now else now
-        self._busy_until = start + service
-        self._engine.schedule_at(self._busy_until, self._flush_complete, req)
+        self._busy_until = done = start + service
+        # Engine.schedule_at inlined (see Bus.send_ctrl): ``done`` is
+        # >= now by construction, so the past-check is redundant.
+        seq = engine._seq
+        engine._seq = seq + 1
+        pool = engine._pool
+        if pool:
+            event = pool.pop()
+            event[0] = done
+            event[1] = seq
+            event[2] = self._flush_complete
+            event[3] = (req,)
+            event.cancelled = False
+        else:
+            event = Event(done, seq, self._flush_complete, (req,))
+        heappush(engine._queue, event)
 
     def _flush_complete(self, req: FlushRequest) -> None:
         now = self._engine.now

@@ -16,11 +16,12 @@ the serializability checker replays it to validate Invariant 1.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Mapping
 
 from ..config import MemoryConfig
 from ..errors import MemoryModelError
-from ..sim.engine import Engine
+from ..sim.engine import Engine, Event
 from ..sim.stats import StatsRegistry
 from .address import WORD_BYTES
 
@@ -101,10 +102,23 @@ class MainMemory:
         """Copy of the committed state (for end-of-run validation)."""
         return dict(self._data)
 
+    def reset(self, image: Mapping[int, int], record_versions: bool) -> None:
+        """Clear committed state and install a fresh workload image.
+
+        Equivalent to constructing a new memory and calling
+        :meth:`load_image` — the version log is replaced (never shared
+        with a previous run's ``MachineResult``) and the port freed.
+        """
+        self._data.clear()
+        self._port_busy_until = 0
+        self.record_versions = record_versions
+        self.version_log = []
+        self.load_image(image)
+
     # ------------------------------------------------------------------
     # timed port
     # ------------------------------------------------------------------
-    def access(self, fn: Callable[..., Any], *args: Any) -> int:
+    def access(self, fn: Callable[..., Any], *args: Any, _push=heappush) -> int:
         """Reserve the port and schedule ``fn`` at data-ready time.
 
         Returns the completion cycle.  The port accepts a new access
@@ -117,7 +131,21 @@ class MainMemory:
         start = busy if busy > now else now
         self._port_busy_until = start + self._port_occupancy
         done = start + self._latency
-        engine.schedule_at(done, fn, *args)
+        # Engine.schedule_at inlined (see Bus.send_ctrl): ``done`` is
+        # >= now by construction, so the past-check is redundant.
+        seq = engine._seq
+        engine._seq = seq + 1
+        pool = engine._pool
+        if pool:
+            event = pool.pop()
+            event[0] = done
+            event[1] = seq
+            event[2] = fn
+            event[3] = args or None
+            event.cancelled = False
+        else:
+            event = Event(done, seq, fn, args or None)
+        _push(engine._queue, event)
 
         # Inlined counter bumps: every fill and flush pays this path.
         self._c_accesses.value += 1

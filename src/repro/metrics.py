@@ -90,6 +90,8 @@ DECLARED_METRICS: frozenset[str] = frozenset({
     "store.lock_acquisitions",  # advisory-lock acquires
     "store.lock_wait_s",    # seconds spent waiting on the lock
     "dir.flush_batches",    # batched commit-flush drains (PR 7)
+    "pack.reset_reuses",    # pack members served by Machine.reset
+    "pack.shared_prep_hits",  # pack members served from the prep cache
 })
 
 

@@ -139,26 +139,55 @@ def direct_energy(
     lo, hi = window
     if hi < lo:
         raise SimulationError(f"invalid clip window [{lo}, {hi})")
-    total = 0.0
     by_state: dict[ProcState, tuple[int, float]] = {}
     if hi == lo:
         # Zero-width window: nothing to integrate, but keep the
         # historical finalization check each clipped-segment walk did.
         for timeline in timelines:
             timeline.end  # noqa: B018 - raises on an unfinalized timeline
-        return total, by_state
+        return 0.0, by_state
+
+    # Map every timeline's local state table onto one shared code space
+    # so all segments reduce in a single concatenated pass.
+    all_states = list(ProcState)
+    index_of = {state: i for i, state in enumerate(all_states)}
+    powers = np.asarray(
+        [model.power_of(s) for s in all_states], dtype=np.float64
+    )
+    dur_parts: list[np.ndarray] = []
+    code_parts: list[np.ndarray] = []
     for timeline in timelines:
         times, codes, states = timeline.as_arrays()
-        powers = [model.power_of(s) for s in states]
-        durations = np.diff(np.clip(times, lo, hi)).tolist()
-        get = by_state.get
-        for code, duration in zip(codes.tolist(), durations):
-            if duration:
-                state = states[code]
-                energy = duration * powers[code]
-                total += energy
-                cycles, acc = get(state, (0, 0.0))
-                by_state[state] = (cycles + duration, acc + energy)
+        dur_parts.append(np.diff(np.clip(times, lo, hi)))
+        lookup = np.asarray([index_of[s] for s in states], dtype=np.intp)
+        code_parts.append(lookup[codes])
+    if not dur_parts:
+        return 0.0, by_state
+    durations = np.concatenate(dur_parts)
+    gcodes = np.concatenate(code_parts)
+    nz = np.nonzero(durations)[0]
+    if nz.size == 0:
+        return 0.0, by_state
+    durations = durations[nz]
+    gcodes = gcodes[nz]
+    energies = durations * powers[gcodes]
+
+    # Bit-identity with the historical per-segment Python loop: cumsum
+    # accumulates strictly left to right, and add.at folds repeated
+    # indices in element order, so the global total and each state's
+    # accumulator perform exactly the float additions — in exactly the
+    # order — the sequential walk performed (float addition is not
+    # associative; a per-timeline partial-sum merge would NOT match).
+    total = float(np.cumsum(energies)[-1])
+    acc = np.zeros(len(all_states), dtype=np.float64)
+    np.add.at(acc, gcodes, energies)
+    cycles = np.zeros(len(all_states), dtype=np.int64)
+    np.add.at(cycles, gcodes, durations)
+
+    # Dict keys in historical order: first nonzero occurrence globally.
+    uniq, first = np.unique(gcodes, return_index=True)
+    for code in uniq[np.argsort(first)].tolist():
+        by_state[all_states[code]] = (int(cycles[code]), float(acc[code]))
     return total, by_state
 
 

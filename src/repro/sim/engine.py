@@ -180,6 +180,28 @@ class Engine:
         _push(self._queue, event)
         return event
 
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state.
+
+        Pending events are dropped (marked cancelled and stripped of
+        their callback/argument references, honouring the expired-handle
+        contract) and recycled into the reuse pool, which is kept warm
+        across resets — pooled entries are inert until the next
+        ``schedule`` reinitialises them, so a reset engine schedules and
+        drains exactly like a fresh one.  Part of the
+        :meth:`repro.htm.machine.Machine.reset` pristine-state contract.
+        """
+        pool = self._pool
+        for event in self._queue:
+            event.cancelled = True
+            event[2] = event[3] = None
+            if len(pool) < _POOL_MAX:
+                pool.append(event)
+        self._queue.clear()
+        self.now = 0
+        self._seq = 0
+        self.events_executed = 0
+
     def _recycle(self, event: Event) -> None:
         """Return a finished heap entry to the reuse pool.
 

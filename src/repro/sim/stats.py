@@ -41,6 +41,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+import numpy as np
+
 __all__ = ["Counter", "Histogram", "StatsRegistry"]
 
 
@@ -92,6 +94,16 @@ class Histogram:
 
     def record(self, value: int) -> None:
         self._pending.append(value)
+
+    def reset(self) -> None:
+        """Discard all samples, returning to the just-constructed state."""
+        self._pending.clear()
+        self._count = 0
+        self._total = 0
+        self._min = None
+        self._max = None
+        self._sumsq = 0
+        self._buckets.clear()
 
     def record_many(self, values: Iterable[int]) -> None:
         self._pending.extend(values)
@@ -178,6 +190,11 @@ class StatsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: name-sorted (name, handle) pairs, rebuilt lazily after a new
+        #: counter registers.  Serialization is per-member work inside a
+        #: replicate pack (the registry survives Machine.reset), so the
+        #: sort is paid once per pack rather than once per seed.
+        self._order: list[tuple[str, Counter]] | None = None
 
     def counter(self, name: str) -> Counter:
         """Resolve (creating if needed) the counter handle for ``name``.
@@ -189,6 +206,7 @@ class StatsRegistry:
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
+            self._order = None
         return c
 
     def histogram(self, name: str) -> Histogram:
@@ -196,6 +214,21 @@ class StatsRegistry:
         if h is None:
             h = self._histograms[name] = Histogram(name)
         return h
+
+    def reset(self) -> None:
+        """Zero every counter and histogram, keeping all handles bound.
+
+        The machine-reset path: components re-resolve nothing, so the
+        handles they bound at construction must stay live.  A reset
+        registry serializes identically to a fresh one (zero-valued
+        counters and empty histograms are filtered out), but any
+        *previous* result still holding this registry now reads zeros —
+        callers must copy ``counters()`` out before resetting.
+        """
+        for c in self._counters.values():
+            c.value = 0
+        for h in self._histograms.values():
+            h.reset()
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Shorthand for ``counter(name).add(amount)`` (cold paths only)."""
@@ -213,11 +246,22 @@ class StatsRegistry:
         serialized results, from never having touched the counter —
         the pre-handle-binding encoding emitted exactly the counters
         that had been bumped.
+
+        Finalization is one numpy pass over the cached name-sorted
+        handle order: gather values, select the nonzero indices, build
+        the dict.  Output is byte-identical to the historical sorted
+        dict comprehension (same keys, same order, plain ints).
         """
+        order = self._order
+        if order is None:
+            order = self._order = sorted(self._counters.items())
+        values = np.fromiter(
+            (c.value for _, c in order), dtype=np.int64, count=len(order)
+        )
         return {
-            k: c.value
-            for k, c in sorted(self._counters.items())
-            if c.value != 0
+            order[i][0]: v
+            for i, v in zip(np.nonzero(values)[0].tolist(), values[
+                values != 0].tolist())
         }
 
     def histograms(self) -> dict[str, Histogram]:

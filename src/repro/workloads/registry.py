@@ -44,12 +44,14 @@ __all__ = [
     "build_workload",
     "register_workload",
     "workload_schema",
+    "workload_seed_invariant",
 ]
 
 Builder = Callable[..., WorkloadInstance]
 
-#: name -> (builder, schema); one dict so the two can never drift apart
-_REGISTRY: dict[str, tuple[Builder, WorkloadSchema]] = {}
+#: name -> (builder, schema, seed_invariant); one dict so they can
+#: never drift apart
+_REGISTRY: dict[str, tuple[Builder, WorkloadSchema, bool]] = {}
 
 #: the paper's evaluation applications, in its presentation order
 PAPER_APPS: tuple[str, ...] = ("genome", "yada", "intruder")
@@ -67,7 +69,7 @@ def available_workloads() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def _lookup(name: str) -> tuple[Builder, WorkloadSchema]:
+def _lookup(name: str) -> tuple[Builder, WorkloadSchema, bool]:
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -78,13 +80,24 @@ def _lookup(name: str) -> tuple[Builder, WorkloadSchema]:
 
 
 def register_workload(
-    name: str, builder: Builder, schema: WorkloadSchema | None = None
+    name: str,
+    builder: Builder,
+    schema: WorkloadSchema | None = None,
+    seed_invariant: bool = False,
 ) -> None:
     """Add a custom workload (overwrites allowed).
 
     Without an explicit ``schema``, one is derived from the builder's
     keyword parameters (:meth:`WorkloadSchema.from_builder`) so unknown
     override keys are still rejected by name.
+
+    ``seed_invariant`` declares that the builder's output does not
+    depend on ``seed`` beyond stamping ``WorkloadInstance.seed`` — no
+    build-time RNG draw and no program closure capturing the seed.  The
+    replicate-pack prep cache shares one build across a whole seed
+    family for such workloads (re-stamped per member), so a wrong
+    ``True`` here silently collapses seeds; leave it ``False`` unless
+    the builder provably never reads ``seed``.
     """
     if not name:
         raise WorkloadError("workload name must be non-empty")
@@ -94,12 +107,18 @@ def register_workload(
         raise WorkloadError(
             f"schema is for {schema.workload!r}, registered as {name!r}"
         )
-    _REGISTRY[name] = (builder, schema)
+    _REGISTRY[name] = (builder, schema, seed_invariant)
 
 
 def workload_schema(name: str) -> WorkloadSchema:
     """The parameter schema of the named workload."""
     return _lookup(name)[1]
+
+
+def workload_seed_invariant(name: str) -> bool:
+    """Whether the named workload's build ignores the seed (see
+    :func:`register_workload`)."""
+    return _lookup(name)[2]
 
 
 def build_workload(
@@ -110,22 +129,26 @@ def build_workload(
     **overrides,
 ) -> WorkloadInstance:
     """Build the named workload, validating overrides against its schema."""
-    builder, schema = _lookup(name)
+    builder, schema, _ = _lookup(name)
     overrides = schema.validate(overrides)
     return builder(num_threads, scale=scale, seed=seed, **overrides)
 
 
-for _name, _builder, _schema in (
-    ("genome", build_genome, GENOME_SCHEMA),
-    ("yada", build_yada, YADA_SCHEMA),
-    ("intruder", build_intruder, INTRUDER_SCHEMA),
-    ("kmeans", build_kmeans, KMEANS_SCHEMA),
-    ("vacation", build_vacation, VACATION_SCHEMA),
-    ("labyrinth", build_labyrinth, LABYRINTH_SCHEMA),
-    ("counter", build_counter, COUNTER_SCHEMA),
-    ("bank", build_bank, BANK_SCHEMA),
-    ("array_walk", build_array_walk, ARRAY_WALK_SCHEMA),
-    ("llist", build_llist, LLIST_SCHEMA),
+# seed_invariant=True only for builders that provably never read `seed`:
+# counter and array_walk touch it solely to stamp the instance (their
+# programs are deterministic in (threads, scale) alone).  Every other
+# builder draws build-time RNG or closes over the seed at run time.
+for _name, _builder, _schema, _seedless in (
+    ("genome", build_genome, GENOME_SCHEMA, False),
+    ("yada", build_yada, YADA_SCHEMA, False),
+    ("intruder", build_intruder, INTRUDER_SCHEMA, False),
+    ("kmeans", build_kmeans, KMEANS_SCHEMA, False),
+    ("vacation", build_vacation, VACATION_SCHEMA, False),
+    ("labyrinth", build_labyrinth, LABYRINTH_SCHEMA, False),
+    ("counter", build_counter, COUNTER_SCHEMA, True),
+    ("bank", build_bank, BANK_SCHEMA, False),
+    ("array_walk", build_array_walk, ARRAY_WALK_SCHEMA, True),
+    ("llist", build_llist, LLIST_SCHEMA, False),
 ):
-    register_workload(_name, _builder, _schema)
-del _name, _builder, _schema
+    register_workload(_name, _builder, _schema, seed_invariant=_seedless)
+del _name, _builder, _schema, _seedless

@@ -447,6 +447,86 @@ class TestDigestAndStoreRules:
         )
         assert findings == []
 
+    def test_dig103_flags_seed_dependent_cache_value(self):
+        findings, _ = _check(
+            """\
+            def resolve(reuse, spec, config):
+                key = (spec.name, spec.scale)
+                reuse._prep[key] = spec.build(config.seed)
+                return reuse._prep[key]
+            """,
+            module="harness/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG103"]
+        assert "seed-dependent" in findings[0].message
+
+    def test_dig103_allows_seed_keyed_cache(self):
+        findings, _ = _check(
+            """\
+            def resolve(reuse, spec, config):
+                key = (spec.name, spec.seed)
+                reuse._prep[key] = spec.build(config.seed)
+                return reuse._prep[key]
+            """,
+            module="harness/example.py",
+        )
+        assert findings == []
+
+    def test_dig103_flags_mutation_of_cached_value(self):
+        findings, _ = _check(
+            """\
+            def merge(reuse, key, extra):
+                cached = reuse._prep.get(key)
+                cached.update(extra)
+                return cached
+            """,
+            module="harness/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG103"]
+        assert "immutable after prep" in findings[0].message
+
+    def test_dig103_flags_attribute_write_on_cached_value(self):
+        findings, _ = _check(
+            """\
+            def stamp(reuse, key, seed):
+                cached = reuse._prep[key]
+                cached.seed = seed
+                return cached
+            """,
+            module="harness/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG103"]
+
+    def test_dig103_allows_restamp_pattern(self):
+        """The sanctioned shape: seed-free key, replace() on read."""
+        findings, _ = _check(
+            """\
+            from dataclasses import replace
+
+            def resolve(reuse, source, config):
+                key = (source.name, source.scale)
+                instance = reuse._prep.get(key)
+                if instance is None:
+                    reuse._prep[key] = instance = source.build(config.num_procs)
+                if instance.seed != source.seed:
+                    instance = replace(instance, seed=source.seed)
+                return instance
+            """,
+            module="harness/example.py",
+        )
+        assert findings == []
+
+    def test_dig103_covers_self_caches_in_reuse_classes(self):
+        findings, _ = _check(
+            """\
+            class RunReuse:
+                def put(self, key, spec, config):
+                    self._prep[key] = spec.build(config.seed)
+            """,
+            module="harness/example.py",
+        )
+        assert _rule_ids(findings) == ["DIG103"]
+
     def test_sto201_flags_direct_store_access(self):
         findings, _ = _check(
             """\
@@ -557,6 +637,73 @@ class TestObsAndGatingRules:
             module="exec/example.py",
         )
         assert _rule_ids(findings) == ["OBS303"]
+
+    def _metrics_fixture(self, tmp_path, declared, wire_source):
+        """A synthetic package: metrics.py catalog + one bump site."""
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        entries = "".join(f"    {name!r},\n" for name in declared)
+        (pkg / "metrics.py").write_text(
+            "DECLARED_METRICS = frozenset({\n" + entries + "})\n"
+        )
+        (pkg / "wire.py").write_text(textwrap.dedent(wire_source))
+        return pkg / "metrics.py"
+
+    def test_obs304_flags_dead_declaration(self, tmp_path):
+        path = self._metrics_fixture(
+            tmp_path,
+            ["tx.commits", "tx.ghost_metric"],
+            """\
+            def wire(stats):
+                return stats.counter("tx.commits")
+            """,
+        )
+        findings, _, errors = check_source(
+            path.read_text(), path, registered_rules()
+        )
+        assert not errors
+        assert _rule_ids(findings) == ["OBS304"]
+        assert "tx.ghost_metric" in findings[0].message
+        assert findings[0].line == 3  # anchored at the declaration entry
+
+    def test_obs304_matches_fstring_prefix_bumps(self, tmp_path):
+        path = self._metrics_fixture(
+            tmp_path,
+            ["*.fills", "gating.window"],
+            """\
+            def wire(stats, prefix):
+                a = stats.counter(f"{prefix}.fills")
+                b = stats.histogram("gating.window")
+                return a, b
+            """,
+        )
+        findings, _, errors = check_source(
+            path.read_text(), path, registered_rules()
+        )
+        assert not errors
+        assert findings == []
+
+    def test_obs304_counts_obs_recorder_bumps(self, tmp_path):
+        path = self._metrics_fixture(
+            tmp_path,
+            ["store.puts"],
+            """\
+            def put(recorder):
+                recorder.count("store.puts")
+            """,
+        )
+        findings, _, errors = check_source(
+            path.read_text(), path, registered_rules()
+        )
+        assert not errors
+        assert findings == []
+
+    def test_obs304_only_runs_on_the_catalog_module(self):
+        findings, _ = _check(
+            'DECLARED_METRICS = frozenset({"tx.ghost_metric"})\n',
+            module="htm/example.py",
+        )
+        assert findings == []
 
     def test_gat401_flags_unguarded_window_query(self):
         findings, _ = _check(

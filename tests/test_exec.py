@@ -424,11 +424,14 @@ class TestReplicatePacks:
         from repro.exec.jobs import execute_pack
 
         bad = RunJob(workload("no-such-workload", scale="tiny"), TINY)
-        outcomes = execute_pack([bad, tiny_job()])
+        outcomes, stats = execute_pack([bad, tiny_job()])
         assert outcomes[0].result is None
         assert "no-such-workload" in outcomes[0].error
         assert outcomes[0].traceback
         assert outcomes[1].result is not None and outcomes[1].error is None
+        # the failed member dropped the cached machine, and the good
+        # member built fresh after it — nothing was reset-reused
+        assert stats.reset_reuses == 0
 
     def test_dispatch_units_split_to_fill_workers(self):
         jobs = self.seed_family(8)
